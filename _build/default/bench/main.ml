@@ -1,0 +1,610 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation on the simulator, plus Bechamel micro-benchmarks
+   of the native structures.
+
+     dune exec bench/main.exe                 -- everything, default scale
+     dune exec bench/main.exe -- fig7 fig9    -- selected experiments
+     dune exec bench/main.exe -- --quick all  -- reduced scale
+     dune exec bench/main.exe -- --full all   -- the paper's 10^6 cycles
+
+   Experiments: fig7 fig8 table1 fig9 fig10 ablate extra native all
+   (see DESIGN.md §3 for the experiment index, EXPERIMENTS.md for
+   paper-vs-measured). *)
+
+module W = Workloads
+module R = W.Report
+
+type scale = { horizon : int; counts : int list; rt_total : int }
+
+let default_scale =
+  {
+    horizon = 200_000;
+    counts = [ 2; 4; 8; 16; 32; 64; 128; 256 ];
+    rt_total = 2_560;
+  }
+
+let quick_scale =
+  { horizon = 50_000; counts = [ 4; 16; 64; 256 ]; rt_total = 640 }
+
+let full_scale = { default_scale with horizon = 1_000_000 }
+
+let progress fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_string ("# " ^ s ^ "\n");
+      flush stderr)
+    fmt
+
+let method_name make = (make ~procs:2).W.Pool_obj.name
+let counter_name make = (make ~procs:2).W.Pool_obj.cname
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8: produce-consume                                    *)
+(* ------------------------------------------------------------------ *)
+
+let produce_consume_tables ~scale ~workload =
+  let methods = W.Methods.produce_consume_methods in
+  let columns = List.map method_name methods in
+  let series =
+    List.map
+      (fun make ->
+        progress "produce-consume W=%d: %s" workload (method_name make);
+        W.Produce_consume.sweep ~horizon:scale.horizon ~workload
+          ~proc_counts:scale.counts make)
+      methods
+  in
+  let row_of f procs =
+    ( string_of_int procs,
+      List.map
+        (fun points ->
+          let p =
+            List.find (fun p -> p.W.Produce_consume.procs = procs) points
+          in
+          f p)
+        series )
+  in
+  let throughput =
+    R.table
+      ~title:
+        (Printf.sprintf
+           "Produce-Consume, Workload=%d: throughput (ops per 10^6 cycles)"
+           workload)
+      ~row_label:"procs" ~columns
+      (List.map
+         (row_of (fun p -> R.int_ p.W.Produce_consume.throughput_per_m))
+         scale.counts)
+  in
+  let latency =
+    R.table
+      ~title:
+        (Printf.sprintf
+           "Produce-Consume, Workload=%d: average latency (cycles/op)"
+           workload)
+      ~row_label:"procs" ~columns
+      (List.map
+         (row_of (fun p -> R.float1 p.W.Produce_consume.latency))
+         scale.counts)
+  in
+  throughput ^ "\n" ^ latency
+
+let fig7 scale =
+  print_string "== Figure 7: produce-consume, Workload = 0 ==\n\n";
+  print_string (produce_consume_tables ~scale ~workload:0);
+  print_newline ()
+
+let fig8 scale =
+  print_string "== Figure 8: produce-consume, Workload > 0 ==\n";
+  print_string
+    "(the paper's exact non-zero workload constants are illegible in the\n\
+    \ available text; 1000/4000/16000 preserve the reported regimes)\n\n";
+  List.iter
+    (fun workload ->
+      print_string (produce_consume_tables ~scale ~workload);
+      print_newline ())
+    [ 1_000; 4_000; 16_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: elimination fractions per level                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 scale =
+  print_string
+    "== Table 1: fraction of tokens eliminated per tree level ==\n\n";
+  let run procs =
+    progress "table1: %d procs" procs;
+    W.Table1.run ~horizon:scale.horizon ~procs ()
+  in
+  let r16 = run 16 and r256 = run 256 in
+  let rows =
+    List.map2
+      (fun (a : W.Table1.level_row) (b : W.Table1.level_row) ->
+        ( Printf.sprintf "level %d" a.W.Table1.level,
+          [ R.percent a.W.Table1.fraction; R.percent b.W.Table1.fraction ] ))
+      r16.W.Table1.rows r256.W.Table1.rows
+  in
+  print_string
+    (R.table ~title:"Etree-32 on produce-consume (W=0)" ~row_label:"level"
+       ~columns:[ "16 procs"; "256 procs" ]
+       rows);
+  Printf.printf
+    "\n\
+     expected nodes traversed (incl. leaf): %.2f @16 procs, %.2f @256 procs\n\
+     requests reaching leaf pools:          %s @16 procs, %s @256 procs\n\n"
+    r16.W.Table1.expected_nodes r256.W.Table1.expected_nodes
+    (R.percent r16.W.Table1.leaf_fraction)
+    (R.percent r256.W.Table1.leaf_fraction)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: counting benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 scale =
+  print_string "== Figure 9: counting benchmark (fetch&increment loop) ==\n\n";
+  let methods = W.Methods.counting_methods in
+  let columns = List.map counter_name methods in
+  let series =
+    List.map
+      (fun make ->
+        progress "counting: %s" (counter_name make);
+        W.Counting.sweep ~horizon:scale.horizon ~proc_counts:scale.counts make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p = List.find (fun p -> p.W.Counting.procs = procs) points in
+              R.int_ p.W.Counting.throughput_per_m)
+            series ))
+      scale.counts
+  in
+  print_string
+    (R.table ~title:"Throughput (fetch&inc per 10^6 cycles)"
+       ~row_label:"procs" ~columns rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: 10-queens and response time                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 scale =
+  print_string "== Figure 10 (left): 10-queens job distribution ==\n\n";
+  let methods = W.Methods.distribution_methods in
+  let columns = List.map method_name methods in
+  let counts = scale.counts in
+  let series =
+    List.map
+      (fun make ->
+        progress "queens: %s" (method_name make);
+        W.Queens.sweep ~proc_counts:counts make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p = List.find (fun p -> p.W.Queens.procs = procs) points in
+              R.int_ p.W.Queens.elapsed)
+            series ))
+      counts
+  in
+  print_string
+    (R.table ~title:"Elapsed cycles until all 1110 tasks consumed"
+       ~row_label:"procs" ~columns rows);
+  print_newline ();
+  print_string "== Figure 10 (right): response time (sparse handoff) ==\n\n";
+  let rt_counts = List.filter (fun n -> n mod 2 = 0) scale.counts in
+  let series =
+    List.map
+      (fun make ->
+        progress "response-time: %s" (method_name make);
+        W.Response_time.sweep ~total:scale.rt_total ~proc_counts:rt_counts
+          make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p =
+                List.find (fun p -> p.W.Response_time.procs = procs) points
+              in
+              R.float1 p.W.Response_time.normalized)
+            series ))
+      rt_counts
+  in
+  print_string
+    (R.table
+       ~title:
+         (Printf.sprintf
+            "Elapsed time until %d elements consumed, normalized per dequeue"
+            scale.rt_total)
+       ~row_label:"procs" ~columns rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (extensions; see EXPERIMENTS.md)                          *)
+(* ------------------------------------------------------------------ *)
+
+let ablate scale =
+  print_string "== Ablations: what makes the elimination tree fast? ==\n\n";
+  let methods = W.Methods.ablation_methods in
+  let columns = List.map method_name methods in
+  let counts = List.filter (fun n -> n >= 16) scale.counts in
+  let series =
+    List.map
+      (fun make ->
+        progress "ablate: %s" (method_name make);
+        W.Produce_consume.sweep ~horizon:scale.horizon ~workload:0
+          ~proc_counts:counts make)
+      methods
+  in
+  let table f title =
+    R.table ~title ~row_label:"procs" ~columns
+      (List.map
+         (fun procs ->
+           ( string_of_int procs,
+             List.map
+               (fun points ->
+                 let p =
+                   List.find
+                     (fun p -> p.W.Produce_consume.procs = procs)
+                     points
+                 in
+                 f p)
+               series ))
+         counts)
+  in
+  print_string
+    (table
+       (fun p -> R.int_ p.W.Produce_consume.throughput_per_m)
+       "Produce-consume W=0: throughput (ops per 10^6 cycles)");
+  print_newline ();
+  print_string
+    (table
+       (fun p -> R.float1 p.W.Produce_consume.latency)
+       "Produce-consume W=0: average latency (cycles/op)");
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Extra experiments beyond the paper                                  *)
+(* ------------------------------------------------------------------ *)
+
+let width_sweep scale =
+  print_string
+    "== Extra: elimination-tree width sensitivity (the paper chose 32 \
+     empirically) ==\n\n";
+  let methods = W.Methods.width_methods in
+  let columns = List.map method_name methods in
+  let series =
+    List.map
+      (fun make ->
+        progress "width: %s" (method_name make);
+        W.Produce_consume.sweep ~horizon:scale.horizon ~workload:0
+          ~proc_counts:scale.counts make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p =
+                List.find (fun p -> p.W.Produce_consume.procs = procs) points
+              in
+              R.int_ p.W.Produce_consume.throughput_per_m)
+            series ))
+      scale.counts
+  in
+  print_string
+    (R.table ~title:"Produce-consume W=0: throughput (ops per 10^6 cycles)"
+       ~row_label:"procs" ~columns rows);
+  print_newline ()
+
+let extra scale =
+  print_string "== Extra: counting-network lineage (not in the paper) ==\n\n";
+  let methods = W.Methods.counting_extra_methods in
+  let columns = List.map counter_name methods in
+  let series =
+    List.map
+      (fun make ->
+        progress "extra counting: %s" (counter_name make);
+        W.Counting.sweep ~horizon:scale.horizon ~proc_counts:scale.counts make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p = List.find (fun p -> p.W.Counting.procs = procs) points in
+              R.int_ p.W.Counting.throughput_per_m)
+            series ))
+      scale.counts
+  in
+  print_string
+    (R.table
+       ~title:
+         "Throughput (fetch&inc per 10^6 cycles): AHS bitonic network [4] \
+          vs diffracting trees vs one hot location"
+       ~row_label:"procs" ~columns rows);
+  print_newline ();
+  print_string
+    "== Extra: LIFO job distribution (stack-like pool vs stealing) ==\n\n";
+  let methods = W.Methods.distribution_extra_methods in
+  let columns = List.map method_name methods in
+  let series =
+    List.map
+      (fun make ->
+        progress "extra queens: %s" (method_name make);
+        W.Queens.sweep ~proc_counts:scale.counts make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p = List.find (fun p -> p.W.Queens.procs = procs) points in
+              R.int_ p.W.Queens.elapsed)
+            series ))
+      scale.counts
+  in
+  print_string
+    (R.table ~title:"Elapsed cycles until all 1110 tasks consumed"
+       ~row_label:"procs" ~columns rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Thesis experiments: load sweep and LIFO fidelity                    *)
+(* ------------------------------------------------------------------ *)
+
+let thesis scale =
+  print_string
+    "== Extra: elimination rate and latency vs offered load \
+     (Etree-32, 256 procs) ==\n\n";
+  progress "load sweep";
+  let points =
+    W.Load_sweep.sweep ~horizon:scale.horizon ~procs:256
+      ~workloads:[ 0; 500; 1_000; 2_000; 4_000; 8_000; 16_000 ]
+      ()
+  in
+  print_string
+    (R.table ~title:"The busier it gets, the faster it gets"
+       ~row_label:"workload"
+       ~columns:[ "latency"; "root elim"; "reach leaf" ]
+       (List.map
+          (fun (p : W.Load_sweep.point) ->
+            ( string_of_int p.W.Load_sweep.workload,
+              [
+                R.float1 p.W.Load_sweep.latency;
+                R.percent p.W.Load_sweep.root_elimination;
+                R.percent p.W.Load_sweep.leaf_fraction;
+              ] ))
+          points));
+  print_newline ();
+  print_string
+    "== Extra: LIFO fidelity of the stack-like pool (fraction of pops \
+     returning the newest element) ==\n\n";
+  let methods =
+    [
+      (fun ~procs -> W.Methods.estack_pool ~procs ());
+      (fun ~procs -> W.Methods.etree_pool ~procs ());
+    ]
+  in
+  let columns = List.map method_name methods in
+  let counts = List.filter (fun n -> n >= 4) scale.counts in
+  let series =
+    List.map
+      (fun make ->
+        progress "lifo fidelity: %s" (method_name make);
+        W.Lifo_fidelity.sweep ~horizon:scale.horizon ~proc_counts:counts make)
+      methods
+  in
+  let rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.concat_map
+            (fun points ->
+              let p =
+                List.find (fun p -> p.W.Lifo_fidelity.procs = procs) points
+              in
+              [
+                R.percent p.W.Lifo_fidelity.hit_fraction;
+                R.float2 p.W.Lifo_fidelity.mean_rank;
+              ])
+            series ))
+      counts
+  in
+  let columns =
+    List.concat_map (fun c -> [ c ^ " hits"; c ^ " rank" ]) columns
+  in
+  print_string
+    (R.table
+       ~title:
+         "Stack-like pool vs plain (FIFO-leaf) pool, produce-consume \
+          (hits: pop returned the newest element; rank: 0 = stack, 1 = \
+          queue)"
+       ~row_label:"procs" ~columns rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Model sensitivity                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The cost model assumes hot locations can be read-shared (reads do
+   not serialize).  This experiment re-runs the headline comparison
+   with reads queueing like writes: the ranking and shapes must
+   survive, only constants move. *)
+let model scale =
+  print_string
+    "== Extra: model sensitivity (reads serialize like writes) ==\n\n";
+  let methods = W.Methods.produce_consume_methods in
+  let columns = List.map method_name methods in
+  let counts = List.filter (fun n -> n >= 16) scale.counts in
+  List.iter
+    (fun (label, config) ->
+      let series =
+        List.map
+          (fun make ->
+            progress "model(%s): %s" label (method_name make);
+            W.Produce_consume.sweep ~horizon:scale.horizon ?config
+              ~workload:0 ~proc_counts:counts make)
+          methods
+      in
+      let rows =
+        List.map
+          (fun procs ->
+            ( string_of_int procs,
+              List.map
+                (fun points ->
+                  let p =
+                    List.find
+                      (fun p -> p.W.Produce_consume.procs = procs)
+                      points
+                  in
+                  R.int_ p.W.Produce_consume.throughput_per_m)
+                series ))
+          counts
+      in
+      print_string
+        (R.table
+           ~title:
+             (Printf.sprintf
+                "Produce-consume W=0 throughput, %s read model" label)
+           ~row_label:"procs" ~columns rows);
+      print_newline ())
+    [
+      ("shared (default)", None);
+      ("serialized", Some Sim.Memory.serialized_reads_config);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Native micro-benchmarks (Bechamel)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let native_benches () =
+  print_string "== Native micro-benchmarks (single-domain op cost) ==\n\n";
+  let open Bechamel in
+  let open Toolkit in
+  Engine.Native.set_capacity 64;
+  let elim_stack = Native.Elim_stack.create ~capacity:64 ~width:4 () in
+  let elim_pool = Native.Elim_pool.create ~capacity:64 ~width:4 () in
+  let local =
+    Native.Local_pool.create ~discipline:`Lifo ~lock_capacity:64 ()
+  in
+  let central =
+    Native.Central_pool.create ~size:4096
+      ~head:
+        (Native.Mcs_counter.as_counter
+           (Native.Mcs_counter.create ~capacity:64 ()))
+      ~tail:
+        (Native.Mcs_counter.as_counter
+           (Native.Mcs_counter.create ~capacity:64 ()))
+      ()
+  in
+  let idc = Native.Inc_dec_counter.create ~capacity:64 ~width:4 () in
+  let tests =
+    [
+      Test.make ~name:"elim_stack push+pop"
+        (Staged.stage (fun () ->
+             Native.Elim_stack.push elim_stack 1;
+             ignore (Native.Elim_stack.pop elim_stack)));
+      Test.make ~name:"elim_pool enq+deq"
+        (Staged.stage (fun () ->
+             Native.Elim_pool.enqueue elim_pool 1;
+             ignore (Native.Elim_pool.dequeue elim_pool)));
+      Test.make ~name:"locked local pool enq+deq"
+        (Staged.stage (fun () ->
+             Native.Local_pool.enqueue local 1;
+             ignore (Native.Local_pool.try_dequeue local)));
+      Test.make ~name:"central pool (MCS) enq+deq"
+        (Staged.stage (fun () ->
+             Native.Central_pool.enqueue central 1;
+             ignore (Native.Central_pool.dequeue central)));
+      Test.make ~name:"inc_dec_counter inc"
+        (Staged.stage (fun () ->
+             ignore (Native.Inc_dec_counter.increment idc)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"native" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%.0f" t
+        | _ -> "n/a"
+      in
+      rows := (name, [ est ]) :: !rows)
+    results;
+  print_string
+    (R.table ~title:"Single-domain operation cost" ~row_label:"operation"
+       ~columns:[ "ns/op" ]
+       (List.sort compare !rows));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref default_scale in
+  let picked = ref [] in
+  let horizon_override = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        scale := quick_scale;
+        parse rest
+    | "--full" :: rest ->
+        scale := full_scale;
+        parse rest
+    | "--horizon" :: n :: rest ->
+        horizon_override := Some (int_of_string n);
+        parse rest
+    | x :: rest ->
+        picked := x :: !picked;
+        parse rest
+  in
+  parse args;
+  let scale =
+    match !horizon_override with
+    | Some h -> { !scale with horizon = h }
+    | None -> !scale
+  in
+  let picked = if !picked = [] then [ "all" ] else List.rev !picked in
+  let want x = List.mem x picked || List.mem "all" picked in
+  progress "scale: horizon=%d cycles, procs=%s" scale.horizon
+    (String.concat "," (List.map string_of_int scale.counts));
+  if want "fig7" then fig7 scale;
+  if want "fig8" then fig8 scale;
+  if want "table1" then table1 scale;
+  if want "fig9" then fig9 scale;
+  if want "fig10" then fig10 scale;
+  if want "ablate" then ablate scale;
+  if want "extra" then begin
+    width_sweep scale;
+    extra scale;
+    thesis scale;
+    model scale
+  end;
+  if want "native" then native_benches ()

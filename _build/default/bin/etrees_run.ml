@@ -1,0 +1,166 @@
+(* A command-line driver for running individual experiments with custom
+   parameters (processor counts, workload, horizon, seed, method).
+
+     dune exec bin/etrees_run.exe -- pc --workload 1000 --procs 64
+     dune exec bin/etrees_run.exe -- count --procs 256 --method dtree32
+     dune exec bin/etrees_run.exe -- queens --procs 32 --method rsu
+     dune exec bin/etrees_run.exe -- response --procs 16 --total 640
+     dune exec bin/etrees_run.exe -- table1 --procs 256 *)
+
+open Cmdliner
+module W = Workloads
+
+let pool_methods =
+  [
+    ("etree", fun ~procs -> W.Methods.etree_pool ~procs ());
+    ("etree64", fun ~procs -> W.Methods.etree_pool ~width:64 ~procs ());
+    ("estack", fun ~procs -> W.Methods.estack_pool ~procs ());
+    ("mcs", fun ~procs -> W.Methods.mcs_pool ~procs ());
+    ("ctree", fun ~procs -> W.Methods.ctree_pool ~procs ());
+    ("ctree256", fun ~procs -> W.Methods.ctree_pool ~tree_procs:256 ~procs ());
+    ("dtree32", fun ~procs -> W.Methods.dtree_pool ~procs ());
+    ("rsu", fun ~procs -> W.Methods.rsu_pool ~procs ());
+    ("worksteal", fun ~procs -> W.Methods.ws_pool ~procs ());
+    ("ebstack", fun ~procs -> W.Methods.eb_stack_pool ~procs ());
+    ("treiber", fun ~procs -> W.Methods.treiber_pool ~procs ());
+    ("etree-noelim", fun ~procs -> W.Methods.etree_pool_no_elim ~procs ());
+    ("etree-1prism", fun ~procs -> W.Methods.etree_pool_single_prism ~procs ());
+  ]
+
+let counter_methods =
+  let open W.Methods in
+  [
+    ("mcs", List.nth counting_methods 1);
+    ("ctree", List.nth counting_methods 2);
+    ("dtree32", List.nth counting_methods 3);
+    ("dtree64", List.nth counting_methods 4);
+    ("dtree32multi", List.nth counting_methods 0);
+    ("faa", naive_counter);
+    ("bitonic", fun ~procs -> bitonic_counter ~procs ());
+  ]
+
+(* Common options *)
+let procs_t =
+  Arg.(value & opt int 64 & info [ "p"; "procs" ] ~doc:"Simulated processors.")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let horizon_t =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "horizon" ] ~doc:"Simulated cycles to run (paper: 1000000).")
+
+let method_conv names =
+  let parse s =
+    match List.assoc_opt s names with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown method %S (expected one of: %s)" s
+               (String.concat ", " (List.map fst names))))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<method>")
+
+let pool_method_t =
+  Arg.(
+    value
+    & opt (method_conv pool_methods) (List.assoc "etree" pool_methods)
+    & info [ "m"; "method" ]
+        ~doc:
+          (Printf.sprintf "Pool method: %s."
+             (String.concat ", " (List.map fst pool_methods))))
+
+let counter_method_t =
+  Arg.(
+    value
+    & opt (method_conv counter_methods) (List.assoc "dtree32multi" counter_methods)
+    & info [ "m"; "method" ]
+        ~doc:
+          (Printf.sprintf "Counter method: %s."
+             (String.concat ", " (List.map fst counter_methods))))
+
+(* pc: produce-consume *)
+let pc_cmd =
+  let workload_t =
+    Arg.(
+      value & opt int 0
+      & info [ "w"; "workload" ] ~doc:"Max think time between operations.")
+  in
+  let run procs seed horizon workload make =
+    let p = W.Produce_consume.run ~seed ~horizon ~workload ~procs make in
+    Printf.printf
+      "%s procs=%d workload=%d: %d ops, %d ops/Mcycle, %.1f cycles/op\n"
+      (make ~procs).W.Pool_obj.name procs workload p.W.Produce_consume.ops
+      p.W.Produce_consume.throughput_per_m p.W.Produce_consume.latency
+  in
+  Cmd.v
+    (Cmd.info "pc" ~doc:"Produce-consume benchmark (Figures 7/8).")
+    Term.(const run $ procs_t $ seed_t $ horizon_t $ workload_t $ pool_method_t)
+
+(* count: counting benchmark *)
+let count_cmd =
+  let run procs seed horizon make =
+    let p = W.Counting.run ~seed ~horizon ~procs make in
+    Printf.printf "%s procs=%d: %d ops, %d ops/Mcycle\n"
+      (make ~procs).W.Pool_obj.cname procs p.W.Counting.ops
+      p.W.Counting.throughput_per_m
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Counting benchmark (Figure 9).")
+    Term.(const run $ procs_t $ seed_t $ horizon_t $ counter_method_t)
+
+(* queens *)
+let queens_cmd =
+  let run procs seed make =
+    let p = W.Queens.run ~seed ~procs make in
+    Printf.printf "%s procs=%d: %d tasks in %d cycles\n"
+      (make ~procs).W.Pool_obj.name procs p.W.Queens.consumed
+      p.W.Queens.elapsed
+  in
+  Cmd.v
+    (Cmd.info "queens" ~doc:"10-queens job distribution (Figure 10 left).")
+    Term.(const run $ procs_t $ seed_t $ pool_method_t)
+
+(* response *)
+let response_cmd =
+  let total_t =
+    Arg.(
+      value & opt int 2_560
+      & info [ "total" ] ~doc:"Elements to hand off (paper: 2560).")
+  in
+  let run procs seed total make =
+    let p = W.Response_time.run ~seed ~total ~procs make in
+    Printf.printf "%s procs=%d: %d elements in %d cycles (%.1f normalized)\n"
+      (make ~procs).W.Pool_obj.name procs p.W.Response_time.consumed
+      p.W.Response_time.elapsed p.W.Response_time.normalized
+  in
+  Cmd.v
+    (Cmd.info "response" ~doc:"Response-time benchmark (Figure 10 right).")
+    Term.(const run $ procs_t $ seed_t $ total_t $ pool_method_t)
+
+(* table1 *)
+let table1_cmd =
+  let run procs seed horizon =
+    let r = W.Table1.run ~seed ~horizon ~procs () in
+    Printf.printf "Etree-32, %d procs:\n" procs;
+    List.iter
+      (fun (row : W.Table1.level_row) ->
+        Printf.printf "  level %d: %.1f%% eliminated\n" row.W.Table1.level
+          (100.0 *. row.W.Table1.fraction))
+      r.W.Table1.rows;
+    Printf.printf "  expected nodes traversed: %.2f\n" r.W.Table1.expected_nodes;
+    Printf.printf "  requests reaching leaves: %.1f%%\n"
+      (100.0 *. r.W.Table1.leaf_fraction)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Per-level elimination fractions (Table 1).")
+    Term.(const run $ procs_t $ seed_t $ horizon_t)
+
+let () =
+  let doc = "Elimination-tree experiments on the multiprocessor simulator." in
+  let info = Cmd.info "etrees_run" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ pc_cmd; count_cmd; queens_cmd; response_cmd; table1_cmd ]))

@@ -1,0 +1,83 @@
+(* Sensors and actuators: the paper's motivating real-time scenario
+   ("a radar tracking system or a traffic flow controller" needing fast
+   response under both sparse and intense activity).
+
+     dune exec examples/sensors.exe
+
+   A 64-processor simulated machine runs 32 sensors producing readings
+   and 32 actuators consuming them, through two alternating phases:
+
+   - QUIET: each sensor fires rarely (large random think time) — the
+     regime where randomized local piles are terrible because a reading
+     sits in one pile out of 256 and actuators must find it;
+   - STORM: every sensor fires continuously — the regime where a
+     central queue melts down and elimination shines.
+
+   We measure the average reading-to-actuation handoff latency per
+   phase for the elimination-tree pool, the MCS central pool and RSU. *)
+
+module E = Sim.Engine
+module W = Workloads
+
+let sensors = 32
+let actuators = 32
+let procs = sensors + actuators
+let quiet_think = 8_000
+let phase_cycles = 150_000
+
+type phase_stats = { mutable handoffs : int; mutable latency : int }
+
+let run_scenario name (make : procs:int -> int W.Pool_obj.pool) =
+  let pool = make ~procs in
+  let quiet = { handoffs = 0; latency = 0 } in
+  let storm = { handoffs = 0; latency = 0 } in
+  (* A reading is its emission timestamp; phase 0 = quiet, 1 = storm. *)
+  let stats_for t = if t < phase_cycles then quiet else storm in
+  let horizon = 2 * phase_cycles in
+  let stop () = E.now () >= horizon in
+  let sim_stats =
+    Sim.run ~seed:7 ~procs ~abort_after:(horizon * 10) (fun p ->
+        if p < sensors then begin
+          (* Sensor: think, then emit a timestamped reading. *)
+          while not (stop ()) do
+            let think =
+              if E.now () < phase_cycles then 1 + E.random_int quiet_think
+              else 1 + E.random_int 64
+            in
+            E.delay think;
+            if not (stop ()) then pool.W.Pool_obj.enqueue (E.now ())
+          done
+        end
+        else
+          (* Actuator: wait for a reading, account its handoff latency
+             against the phase it was emitted in. *)
+          while not (stop ()) do
+            match pool.W.Pool_obj.dequeue ~stop with
+            | Some emitted ->
+                let s = stats_for emitted in
+                s.handoffs <- s.handoffs + 1;
+                s.latency <- s.latency + (E.now () - emitted)
+            | None -> ()
+          done)
+  in
+  ignore sim_stats;
+  let avg s = if s.handoffs = 0 then 0.0 else float s.latency /. float s.handoffs in
+  Printf.printf "%-10s quiet: %5d handoffs, avg latency %8.0f cycles\n"
+    name quiet.handoffs (avg quiet);
+  Printf.printf "%-10s storm: %5d handoffs, avg latency %8.0f cycles\n\n"
+    name storm.handoffs (avg storm)
+
+let () =
+  Printf.printf
+    "Sensor/actuator coordination on a %d-processor simulated machine\n\
+     (quiet phase: sparse readings; storm phase: continuous readings)\n\n"
+    procs;
+  run_scenario "Etree-32" (fun ~procs -> W.Methods.etree_pool ~procs ());
+  run_scenario "MCS" (fun ~procs -> W.Methods.mcs_pool ~procs ());
+  run_scenario "RSU" (fun ~procs -> W.Methods.rsu_pool ~procs ());
+  print_endline
+    "Expected: the elimination tree is the only method fast in BOTH\n\
+     phases.  MCS has the best quiet-phase latency but its central\n\
+     queue backs up in the storm; RSU pays for hunting readings across\n\
+     256 mostly-empty piles when quiet, and its consumers fall behind\n\
+     the producers in the storm."

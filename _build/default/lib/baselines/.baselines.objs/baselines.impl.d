@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Bitonic_network Central_pool Diff_tree Rsu Work_stealing

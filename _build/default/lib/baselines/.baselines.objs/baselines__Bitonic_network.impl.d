@@ -1,0 +1,1 @@
+lib/baselines/bitonic_network.ml: Array Engine Fun List Sync

@@ -1,0 +1,1 @@
+lib/baselines/bitonic_network.mli: Engine Sync

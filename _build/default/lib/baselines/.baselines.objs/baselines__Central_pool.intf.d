@@ -1,0 +1,1 @@
+lib/baselines/central_pool.mli: Engine Sync

@@ -1,0 +1,1 @@
+lib/baselines/diff_tree.ml: Array Core Engine Sync

@@ -1,0 +1,1 @@
+lib/baselines/diff_tree.mli: Core Engine Sync

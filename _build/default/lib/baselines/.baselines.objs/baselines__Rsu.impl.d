@@ -1,0 +1,1 @@
+lib/baselines/rsu.ml: Array Engine Pools

@@ -1,0 +1,1 @@
+lib/baselines/work_stealing.ml: Array Engine Pools

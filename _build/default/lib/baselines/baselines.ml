@@ -1,0 +1,24 @@
+(** The comparison methods of the paper's evaluation (§2.5), each built
+    from scratch on the same engine abstraction as the elimination
+    trees:
+
+    - {!Diff_tree} — diffracting-tree counters [24] ("Dtree-32",
+      "Dtree-64"), with single-prism (original) or multi-layered-prism
+      (this paper's §2.5.2) balancers;
+    - {!Central_pool} — the Figure-5 cyclic-array pool driven by any two
+      {!Sync.Counter.t}s (yielding the "MCS", "Ctree-n" and "Dtree"
+      produce/consume methods);
+    - {!Rsu} — the randomized load-balanced local pools of Rudolph,
+      Slivkin-Allaluf & Upfal [22], representing the job-stealing
+      family [7, 13, 21]. *)
+
+module Diff_tree = Diff_tree
+module Central_pool = Central_pool
+module Rsu = Rsu
+
+(** Extra substrate/baseline (cited [4], not in the paper's figures):
+    the AHS bitonic counting network as a fetch&increment counter. *)
+module Bitonic_network = Bitonic_network
+
+(** Extra baseline (cited [7]): single-steal work-stealing deques. *)
+module Work_stealing = Work_stealing

@@ -1,0 +1,183 @@
+(* The counting networks of Aspnes, Herlihy & Shavit [4] — the
+   structures the paper generalizes ("our tree construction is a novel
+   form of a counting network [4] based counter").  Implemented as an
+   additional substrate/baseline: depth Theta(log^2 w) versus the
+   trees' log w, no prisms, balancers toggled by bare CAS.
+
+   Two constructions:
+
+   Bitonic[w] (AHS):
+   - Merger[2]:  one balancer.
+   - Merger[2k]: the even-indexed inputs of the first half together
+     with the odd-indexed inputs of the second half feed one Merger[k];
+     the remaining inputs feed another; a final column of k balancers
+     pairs the two mergers' outputs elementwise.
+   - Bitonic[2k]: two parallel Bitonic[k] followed by Merger[2k].
+
+   Periodic[w] (AHS): log w identical Block[w] butterflies in series;
+   Block[w] layer l pairs the wires whose indices differ exactly in the
+   l-th most significant bit.  Same depth as Bitonic[w], simpler
+   periodic wiring.
+
+   A balancer's two outputs stay on its two physical wires (first input
+   wire = top output).  We generate the layer-by-layer wiring over
+   physical wire ids and keep the logical output order alongside
+   (identity for Periodic), then hang a local counter (value sequence
+   i, i+w, ...) on logical output i.  The networks' step property makes
+   the assembly an exact quiescently-consistent fetch&increment. *)
+
+module Make (E : Engine.S) = struct
+  type layer = {
+    partner : int array; (* partner wire per wire; -1 = pass-through *)
+    is_top : bool array;  (* does this wire hold the balancer's top? *)
+    state : bool E.cell array; (* toggle per wire pair (stored at top) *)
+  }
+
+  type t = {
+    width : int;
+    layers : layer array;
+    position : int array; (* physical wire -> logical output index *)
+    slots : int E.cell array; (* logical output -> local counter *)
+  }
+
+  (* Wiring generation over lists of physical wire ids.  Each layer is
+     a list of (top_wire, bottom_wire) pairs; parallel sub-networks are
+     zipped layerwise (they always have equal depth by symmetry). *)
+  let split_even_odd ws =
+    let rec go evens odds i = function
+      | [] -> (List.rev evens, List.rev odds)
+      | w :: rest ->
+          if i land 1 = 0 then go (w :: evens) odds (i + 1) rest
+          else go evens (w :: odds) (i + 1) rest
+    in
+    go [] [] 0 ws
+
+  let rec interleave a b =
+    match (a, b) with
+    | [], [] -> []
+    | x :: a, y :: b -> x :: y :: interleave a b
+    | _ -> invalid_arg "interleave"
+
+  let parallel_concat la lb =
+    if List.length la <> List.length lb then
+      invalid_arg "bitonic: sub-network depth mismatch";
+    List.map2 ( @ ) la lb
+
+  let rec merger xs ys =
+    match (xs, ys) with
+    | [ x ], [ y ] -> ([ [ (x, y) ] ], [ x; y ])
+    | _ ->
+        let xe, xo = split_even_odd xs in
+        let ye, yo = split_even_odd ys in
+        let layers_a, za = merger xe yo in
+        let layers_b, zb = merger xo ye in
+        let final = List.map2 (fun a b -> (a, b)) za zb in
+        (parallel_concat layers_a layers_b @ [ final ], interleave za zb)
+
+  let rec bitonic ws =
+    match ws with
+    | [ _ ] -> ([], ws)
+    | _ ->
+        let n = List.length ws in
+        let h1 = List.filteri (fun i _ -> i < n / 2) ws in
+        let h2 = List.filteri (fun i _ -> i >= n / 2) ws in
+        let l1, z1 = bitonic h1 in
+        let l2, z2 = bitonic h2 in
+        let lm, z = merger z1 z2 in
+        (parallel_concat l1 l2 @ lm, z)
+
+  (* Periodic[w]: log w repetitions of the Block[w] network of the
+     Dowd-Perl-Rudolph-Saks balanced sorter, as used by AHS.  Block
+     layer l splits the wires into chunks of size w >> l and pairs the
+     mirror images within each chunk (i with chunk_size-1-i); outputs
+     in natural wire order. *)
+  let periodic width =
+    let log2 =
+      let rec go acc w = if w <= 1 then acc else go (acc + 1) (w / 2) in
+      go 0 width
+    in
+    let block =
+      List.init log2 (fun l ->
+          let chunk = width lsr l in
+          List.concat
+            (List.init (width / chunk) (fun c ->
+                 let base = c * chunk in
+                 List.init (chunk / 2) (fun i ->
+                     (base + i, base + chunk - 1 - i)))))
+    in
+    let layers = List.concat (List.init log2 (fun _ -> block)) in
+    (layers, List.init width Fun.id)
+
+  let is_power_of_two w = w > 0 && w land (w - 1) = 0
+
+  let create ?(kind = `Bitonic) ?(initial = 0) ~width () =
+    if not (is_power_of_two width) then
+      invalid_arg "Bitonic_network.create: width must be a power of two";
+    let pair_layers, order =
+      match kind with
+      | `Bitonic -> bitonic (List.init width Fun.id)
+      | `Periodic -> periodic width
+    in
+    let layers =
+      List.map
+        (fun pairs ->
+          let partner = Array.make width (-1) in
+          let is_top = Array.make width false in
+          let state = Array.init width (fun _ -> E.cell false) in
+          List.iter
+            (fun (a, b) ->
+              partner.(a) <- b;
+              partner.(b) <- a;
+              is_top.(a) <- true)
+            pairs;
+          { partner; is_top; state })
+        pair_layers
+      |> Array.of_list
+    in
+    let position = Array.make width (-1) in
+    List.iteri (fun logical wire -> position.(wire) <- logical) order;
+    {
+      width;
+      layers;
+      position;
+      slots = Array.init width (fun i -> E.cell (initial + i));
+    }
+
+  let depth t = Array.length t.layers
+
+  (* Atomically flip a toggle; returns its previous value. *)
+  let rec toggle cell =
+    let v = E.get cell in
+    if E.compare_and_set cell v (not v) then v
+    else begin
+      E.cpu_relax ();
+      toggle cell
+    end
+
+  (* Route one token from input wire [wire] to its logical output. *)
+  let traverse t ~wire =
+    if wire < 0 || wire >= t.width then invalid_arg "Bitonic_network.traverse";
+    let current = ref wire in
+    Array.iter
+      (fun layer ->
+        let w = !current in
+        let p = layer.partner.(w) in
+        if p >= 0 then begin
+          let top, bottom = if layer.is_top.(w) then (w, p) else (p, w) in
+          let old = toggle layer.state.(top) in
+          (* First token out the top wire, second out the bottom. *)
+          current := (if old then bottom else top)
+        end)
+      t.layers;
+    t.position.(!current)
+
+  let fetch_and_inc t =
+    let wire =
+      if t.width = 1 then 0 else E.random_int t.width
+    in
+    let out = traverse t ~wire in
+    E.fetch_and_add t.slots.(out) t.width
+
+  let as_counter t : Sync.Counter.t =
+    { fetch_and_inc = (fun () -> fetch_and_inc t) }
+end

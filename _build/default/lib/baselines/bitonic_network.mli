@@ -1,0 +1,27 @@
+(** The counting networks of Aspnes, Herlihy & Shavit [4] — the
+    structures the paper's trees generalize: [`Bitonic] (recursive
+    merger construction, depth [log w * (log w + 1) / 2]) and
+    [`Periodic] ([log w] identical butterfly blocks, same depth).
+    Bare-CAS toggle balancers, no prisms; local counters on the logical
+    outputs make either an exact fetch&increment with the step property
+    in quiescent states. *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create :
+    ?kind:[ `Bitonic | `Periodic ] -> ?initial:int -> width:int -> unit -> t
+  (** [width] must be a power of two.  Default [`Bitonic]. *)
+
+  val depth : t -> int
+  (** Number of balancer layers. *)
+
+  val traverse : t -> wire:int -> int
+  (** Route one token from input [wire] to its logical output index. *)
+
+  val fetch_and_inc : t -> int
+  (** Traverse from a random input wire and fetch the output's local
+      counter. *)
+
+  val as_counter : t -> Sync.Counter.t
+end

@@ -1,0 +1,24 @@
+(** The centralized pool of the paper's Figure 5: a cyclic array
+    indexed by two shared counters.  The "MCS", "Ctree-n" and "Dtree"
+    produce-consume methods are this pool with different counters. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  val create :
+    ?poll:int ->
+    size:int ->
+    head:Sync.Counter.t ->
+    tail:Sync.Counter.t ->
+    unit ->
+    'v t
+  (** [size] must exceed the maximum enqueue surplus plus concurrent
+      operations ("N must be chosen optimally"). *)
+
+  val enqueue : 'v t -> 'v -> unit
+  (** Waits (polling) if its slot is still held by a slow dequeuer of a
+      previous lap. *)
+
+  val dequeue : ?stop:(unit -> bool) -> 'v t -> 'v option
+  (** Waits (polling) for its slot to fill; [stop] bounds the wait. *)
+end

@@ -1,0 +1,53 @@
+(* Diffracting trees [Shavit & Zemach, 24] used as shared counters —
+   the paper's "Dtree" baselines.
+
+   A diffracting balancer is an elimination balancer with elimination
+   turned off, a single toggle bit, and (classically) a single prism;
+   only tokens flow.  The counting-tree output numbering gives leaf i
+   the value sequence i, i+w, i+2w, ..., so a token exiting on leaf i
+   fetches that leaf's next value — a correct, high-bandwidth
+   fetch&increment (step property of counting trees).
+
+   [`Single_prism] is the original construction with the optimized
+   parameters of [24] quoted in §2.5; [`Multi_prism] is this paper's
+   new multi-layered-prism balancer evaluated in the counting benchmark
+   of §2.5.2 (Fig. 9, "Dtree-32+MulPri"). *)
+
+module Make (E : Engine.S) = struct
+  module Tree = Core.Elim_tree.Make (E)
+
+  type t = {
+    tree : unit Tree.t;
+    slots : int E.cell array;
+    width : int;
+  }
+
+  let create ?(prisms = `Single_prism) ?(initial = 0) ~capacity ~width () =
+    let config =
+      match prisms with
+      | `Single_prism -> Core.Tree_config.dtree width
+      | `Multi_prism -> Core.Tree_config.dtree_multiprism width
+    in
+    let tree =
+      Tree.create ~mode:`Stack ~eliminate:false ~leaf_order:`Interleaved
+        ~capacity config
+    in
+    {
+      tree;
+      slots = Array.init width (fun i -> E.cell (initial + i));
+      width;
+    }
+
+  let fetch_and_inc t =
+    match Tree.traverse t.tree ~kind:Token ~value:None with
+    | Tree.Leaf i -> E.fetch_and_add t.slots.(i) t.width
+    | Tree.Eliminated _ ->
+        (* Token-only traffic with elimination disabled never
+           eliminates. *)
+        assert false
+
+  let as_counter t : Sync.Counter.t =
+    { fetch_and_inc = (fun () -> fetch_and_inc t) }
+
+  let stats_by_level t = Tree.stats_by_level t.tree
+end

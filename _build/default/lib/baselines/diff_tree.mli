@@ -1,0 +1,25 @@
+(** Diffracting trees [Shavit & Zemach, 24] as shared counters — the
+    paper's "Dtree" baselines.  A diffracting balancer is an
+    elimination balancer with elimination off and a single toggle;
+    counting-tree output numbering plus per-leaf local counters give an
+    exact fetch&increment.  [`Single_prism] is the original
+    construction with the optimized parameters of [24]; [`Multi_prism]
+    is this paper's multi-layered-prism balancer (§2.5.2, Fig. 9). *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create :
+    ?prisms:[ `Single_prism | `Multi_prism ] ->
+    ?initial:int ->
+    capacity:int ->
+    width:int ->
+    unit ->
+    t
+
+  val fetch_and_inc : t -> int
+
+  val as_counter : t -> Sync.Counter.t
+
+  val stats_by_level : t -> Core.Elim_stats.t list
+end

@@ -1,0 +1,91 @@
+(* The randomized load-balanced pool of Rudolph, Slivkin-Allaluf & Upfal
+   [22] — the representative of the "load-balanced local pools" family
+   the paper compares against (§2.5.3).
+
+   Each processor owns a private work pile.  Enqueues go to the owner's
+   pile.  Before dequeuing, a processor flips a coin and, with
+   probability 1/l (l = its pile size; certainty when empty), picks a
+   uniformly random partner and moves elements from the longer of the
+   two piles to the shorter until they are equal.  This gives excellent
+   expected behaviour under uniform high load and Theta(n) expected
+   response when only a few piles are populated — the trade-off
+   Figures 10/11 quantify. *)
+
+module Make (E : Engine.S) = struct
+  module Local = Pools.Local_pool.Make (E)
+
+  type 'v t = { piles : 'v Local.t array }
+
+  let create ?(discipline = `Fifo) ?(pile_size = 4096) ~procs () =
+    if procs < 1 then invalid_arg "Rsu.create";
+    {
+      piles =
+        Array.init procs (fun _ ->
+            Local.create ~discipline ~size:pile_size ~lock_capacity:procs ());
+    }
+
+  let my_pile t = t.piles.(E.pid () mod Array.length t.piles)
+
+  let enqueue t v = Local.enqueue (my_pile t) v
+
+  (* Equalize our pile with a random partner's (both locks held, in uid
+     order). *)
+  let balance t =
+    let n = Array.length t.piles in
+    if n > 1 then begin
+      let p = E.pid () mod n in
+      let q = E.random_int n in
+      if q <> p then begin
+        let mine = t.piles.(p) and theirs = t.piles.(q) in
+        Local.with_two_locks mine theirs (fun () ->
+            let transfer ~source ~target k =
+              for _ = 1 to k do
+                match Local.raw_pop source with
+                | Some v -> Local.raw_push target v
+                | None -> assert false
+              done
+            in
+            let lm = Local.raw_size mine and lt = Local.raw_size theirs in
+            (* Move half the difference from the longer pile to the
+               shorter.  Strict halving would never move a lone element
+               ((1,0) is as equal as (0,1)) and could strand the last
+               element away from the only remaining dequeuer, so an
+               empty pile always receives at least one element — the
+               "steal one when empty" refinement of the job-stealing
+               variants [13, 7]. *)
+            if lm > lt then
+              let k = if lt = 0 then max 1 ((lm - lt) / 2) else (lm - lt) / 2 in
+              transfer ~source:mine ~target:theirs k
+            else if lt > lm then
+              let k = if lm = 0 then max 1 ((lt - lm) / 2) else (lt - lm) / 2 in
+              transfer ~source:theirs ~target:mine k)
+      end
+    end
+
+  (* One dequeue attempt: the RSU coin flip and balancing step, then a
+     try at the local pile. *)
+  let try_dequeue t =
+    let pile = my_pile t in
+    let l = Local.size pile in
+    if E.random_bernoulli ~num:1 ~den:(max 1 l) then balance t;
+    Local.try_dequeue pile
+
+  (* Dequeue, retrying (and rebalancing) until an element arrives or
+     [stop] fires.  Note there is no deterministic termination
+     guarantee — this is the "probabilistic pool" of the paper's §2. *)
+  let dequeue ?(poll = 16) ?(stop = fun () -> false) t =
+    let rec attempt () =
+      match try_dequeue t with
+      | Some _ as v -> v
+      | None ->
+          if stop () then None
+          else begin
+            E.delay poll;
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let total_size t =
+    Array.fold_left (fun acc pile -> acc + Local.size pile) 0 t.piles
+end

@@ -1,0 +1,29 @@
+(** The randomized load-balanced pool of Rudolph, Slivkin-Allaluf &
+    Upfal [22] — the paper's representative of the local-pools family
+    [7, 13, 21].  Enqueues go to the caller's private pile; before a
+    dequeue, with probability 1/l (certainty when empty) the caller
+    equalizes its pile with a uniformly random partner's.  Excellent
+    under uniform load, Θ(n) expected response when only a few piles
+    are populated; no deterministic termination guarantee. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  val create :
+    ?discipline:[ `Fifo | `Lifo ] -> ?pile_size:int -> procs:int -> unit -> 'v t
+  (** [procs] is the number of piles (the machine size, not just the
+      participants). *)
+
+  val enqueue : 'v t -> 'v -> unit
+
+  val try_dequeue : 'v t -> 'v option
+  (** One coin-flip/balance/dequeue attempt. *)
+
+  val dequeue : ?poll:int -> ?stop:(unit -> bool) -> 'v t -> 'v option
+  (** Retry (and rebalance) until an element arrives or [stop] fires. *)
+
+  val balance : 'v t -> unit
+  (** One explicit balancing step with a random partner. *)
+
+  val total_size : 'v t -> int
+end

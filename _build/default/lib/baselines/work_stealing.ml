@@ -1,0 +1,66 @@
+(* Work stealing in the style of Blumofe & Leiserson [7], the other
+   member of the randomized local-pool family the paper cites (RSU was
+   chosen as the representative; this one is provided as an extra
+   baseline for the job-distribution workloads).
+
+   Each processor owns a deque: the owner pushes and pops at the bottom
+   (LIFO — the stack-like scheduling discipline [7] argues for), and a
+   processor whose deque is empty steals a single element from the
+   *top* (FIFO end) of a uniformly random victim.  We reuse the locked
+   ring buffer for the deques: the owner's end is the LIFO end, steals
+   take the oldest element; the lock stands in for the ABP protocol,
+   which is an acceptable substitution under the simulator's cost model
+   (one location's serialization either way). *)
+
+module Make (E : Engine.S) = struct
+  module Local = Pools.Local_pool.Make (E)
+
+  type 'v t = { deques : 'v Local.t array }
+
+  let create ?(deque_size = 8192) ~procs () =
+    if procs < 1 then invalid_arg "Work_stealing.create";
+    {
+      deques =
+        Array.init procs (fun _ ->
+            Local.create ~discipline:`Lifo ~size:deque_size
+              ~lock_capacity:procs ());
+    }
+
+  let my_deque t = t.deques.(E.pid () mod Array.length t.deques)
+
+  let enqueue t v = Local.enqueue (my_deque t) v
+
+  (* Steal one element from the FIFO end of a random victim. *)
+  let try_steal t =
+    let n = Array.length t.deques in
+    if n <= 1 then None
+    else begin
+      let victim = t.deques.(E.random_int n) in
+      if victim == my_deque t then None
+      else
+        (* Oldest element: the ring's head, regardless of the owner's
+           LIFO discipline. *)
+        Local.steal_oldest victim
+    end
+
+  let try_dequeue t =
+    match Local.try_dequeue (my_deque t) with
+    | Some _ as v -> v
+    | None -> try_steal t
+
+  let dequeue ?(poll = 16) ?(stop = fun () -> false) t =
+    let rec attempt () =
+      match try_dequeue t with
+      | Some _ as v -> v
+      | None ->
+          if stop () then None
+          else begin
+            E.delay poll;
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let total_size t =
+    Array.fold_left (fun acc d -> acc + Local.size d) 0 t.deques
+end

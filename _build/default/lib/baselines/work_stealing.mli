@@ -1,0 +1,22 @@
+(** Work stealing in the style of Blumofe & Leiserson [7] (an extra
+    baseline; the paper compared against RSU as the family's
+    representative).  Owners push/pop the LIFO end of a private deque;
+    a processor with an empty deque steals one element from the FIFO
+    end of a uniformly random victim. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  val create : ?deque_size:int -> procs:int -> unit -> 'v t
+
+  val enqueue : 'v t -> 'v -> unit
+
+  val try_steal : 'v t -> 'v option
+
+  val try_dequeue : 'v t -> 'v option
+  (** Own deque first, then one steal attempt. *)
+
+  val dequeue : ?poll:int -> ?stop:(unit -> bool) -> 'v t -> 'v option
+
+  val total_size : 'v t -> int
+end

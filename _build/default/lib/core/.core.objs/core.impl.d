@@ -1,0 +1,1 @@
+lib/core/core.ml: Elim_balancer Elim_pool Elim_stack Elim_stats Elim_tree Inc_dec_counter Location Tree_config

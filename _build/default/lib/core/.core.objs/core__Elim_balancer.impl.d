@@ -1,0 +1,1 @@
+lib/core/elim_balancer.ml: Array Elim_stats Engine List Location Sync

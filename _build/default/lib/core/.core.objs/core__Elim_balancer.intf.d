@@ -1,0 +1,1 @@
+lib/core/elim_balancer.mli: Elim_stats Engine Location

@@ -1,0 +1,1 @@
+lib/core/elim_pool.mli: Elim_stats Engine Tree_config

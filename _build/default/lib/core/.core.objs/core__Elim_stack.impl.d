@@ -1,0 +1,1 @@
+lib/core/elim_stack.ml: Array Elim_tree Engine Pools Tree_config

@@ -1,0 +1,1 @@
+lib/core/elim_stack.mli: Elim_stats Engine Tree_config

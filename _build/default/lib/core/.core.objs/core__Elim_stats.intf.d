@@ -1,0 +1,1 @@
+lib/core/elim_stats.mli: Location

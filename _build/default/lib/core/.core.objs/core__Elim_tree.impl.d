@@ -1,0 +1,1 @@
+lib/core/elim_tree.ml: Array Elim_balancer Elim_stats Engine List Location Tree_config

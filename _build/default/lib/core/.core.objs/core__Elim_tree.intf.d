@@ -1,0 +1,1 @@
+lib/core/elim_tree.mli: Elim_balancer Elim_stats Engine Location Tree_config

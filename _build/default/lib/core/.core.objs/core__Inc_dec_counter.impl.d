@@ -1,0 +1,1 @@
+lib/core/inc_dec_counter.ml: Array Elim_tree Engine Tree_config

@@ -1,0 +1,1 @@
+lib/core/inc_dec_counter.mli: Elim_stats Elim_tree Engine Location Tree_config

@@ -1,0 +1,31 @@
+(** Elimination trees — the paper's primary contribution.
+
+    Shavit & Touitou, "Elimination Trees and the Construction of Pools
+    and Stacks", SPAA 1995.
+
+    - {!Location} — collision-protocol types (tokens, anti-tokens,
+      announcement entries, traversal outcomes).
+    - {!Elim_balancer} — the elimination balancer: prism cascade,
+      diffraction, elimination with value exchange, locked toggle bits.
+    - {!Elim_tree} — trees of balancers ([Pool[w]] and counting-tree
+      layouts).
+    - {!Elim_pool} — the pool: tree + FIFO local pools (Thm 2.2).
+    - {!Elim_stack} — the stack-like pool: gap balancers + LIFO local
+      stacks (Thms 3.4/3.5).
+    - {!Inc_dec_counter} — IncDecCounter[w] (§3.1, gap step property).
+    - {!Tree_config} — per-level prism widths and spin times (§2.5).
+    - {!Elim_stats} — per-level elimination statistics (Table 1).
+
+    Every structure is a functor over {!Engine.S}: instantiate with
+    [Engine.Native] for a real OCaml 5 concurrent structure or with
+    [Sim.Engine] to run under the deterministic multiprocessor
+    simulator. *)
+
+module Location = Location
+module Elim_stats = Elim_stats
+module Tree_config = Tree_config
+module Elim_balancer = Elim_balancer
+module Elim_tree = Elim_tree
+module Elim_pool = Elim_pool
+module Elim_stack = Elim_stack
+module Inc_dec_counter = Inc_dec_counter

@@ -1,0 +1,199 @@
+(* The elimination balancer (paper §2.2–§2.4, Figures 2 and 4).
+
+   A one-input two-output routing element for tokens (enqueues) and
+   anti-tokens (dequeues).  A traversal tries, on a cascade of prism
+   arrays of decreasing width, to collide with another traversal of the
+   same balancer:
+
+   - same kind: the pair is *diffracted*, one to each output wire,
+     sparing the toggle bit two operations that would have cancelled;
+   - opposite kinds: the pair is *eliminated* — they exchange the
+     enqueued value through the Location array and leave the tree.
+
+   A traversal that never collides falls through to the toggle bit(s),
+   each protected by an MCS queue lock, and leaves on the wire the
+   toggle dictates.
+
+   Two modes:
+   - [Pool]: separate token and anti-token toggle bits (Fig. 2 left),
+     giving the pool-balancing property (Thm 2.6);
+   - [Stack]: one shared toggle bit (Fig. 2 right); tokens exit by its
+     old value, anti-tokens toggle and exit by its *new* value, so an
+     anti-token retraces the path of the last token — the gap
+     elimination balancer of §3.1.
+
+   [eliminate] can be turned off to obtain a plain (multi-prism)
+   diffracting balancer: opposite-kind prism meetings are then ignored.
+   With a single prism, [Stack] mode and token-only traffic this is
+   exactly the original diffracting balancer of [24]. *)
+
+module Make (E : Engine.S) = struct
+  module Lock = Sync.Mcs_lock.Make (E)
+
+  type 'v location = 'v Location.entry E.cell array
+
+  type 'v t = {
+    id : int; (* unique within the tree; announcements carry it *)
+    mode : [ `Pool | `Stack ];
+    eliminate : bool;
+    prisms : int E.cell array array; (* pid slots; -1 = empty *)
+    spin : int;
+    toggles : bool E.cell array; (* Pool: [|token; anti|]; Stack: one *)
+    locks : Lock.t array;        (* parallel to [toggles] *)
+    location : 'v location;     (* shared by the whole tree *)
+    stats : Elim_stats.t;
+  }
+
+  let make_location ~capacity : 'v location =
+    Array.init capacity (fun _ -> E.cell Location.Empty)
+
+  let create ?(mode = `Pool) ?(eliminate = true) ~id ~prism_widths ~spin
+      ~location () =
+    if prism_widths = [] then
+      invalid_arg "Elim_balancer.create: at least one prism required";
+    let capacity = Array.length location in
+    let ntoggles = match mode with `Pool -> 2 | `Stack -> 1 in
+    {
+      id;
+      mode;
+      eliminate;
+      prisms =
+        Array.of_list
+          (List.map
+             (fun w -> Array.init (max 1 w) (fun _ -> E.cell (-1)))
+             prism_widths);
+      spin;
+      toggles = Array.init ntoggles (fun _ -> E.cell false);
+      locks = Array.init ntoggles (fun _ -> Lock.create ~capacity ());
+      location;
+      stats = Elim_stats.create ();
+    }
+
+  let toggle_index t (kind : Location.kind) =
+    match (t.mode, kind) with
+    | `Pool, Token -> 0
+    | `Pool, Anti -> 1
+    | `Stack, _ -> 0
+
+  (* Which wire a toggling traversal leaves on.  Pool balancers and
+     stack-mode tokens go by the toggle's old value; stack-mode
+     anti-tokens go by its new value, retracing the last token. *)
+  let toggle_wire t (kind : Location.kind) ~old =
+    let bit =
+      match (t.mode, kind) with
+      | `Pool, _ | `Stack, Token -> old
+      | `Stack, Anti -> not old
+    in
+    if bit then 1 else 0
+
+  (* One fresh announcement record; its physical identity is the claim
+     ticket (see {!Location}). *)
+  let announce t ~kind ~value =
+    let box = Location.Announced { balancer = t.id; kind; value } in
+    E.set t.location.(E.pid ()) box;
+    box
+
+  (* After our entry was claimed, read our fate out of it. *)
+  let claimed_outcome t my_cell : 'v Location.outcome =
+    match E.get my_cell with
+    | Location.Diffracted ->
+        Elim_stats.note_diffracted t.stats 1;
+        Location.Exit 0
+    | Location.Eliminated_slot v ->
+        Elim_stats.note_eliminated t.stats 1;
+        Location.Eliminated v
+    | Location.Empty | Location.Announced _ ->
+        (* Our claim ticket was CASed away, so the claimer has already
+           (atomically) written our fate; nothing else writes here. *)
+        assert false
+
+  (* Attempt to collide with processor [him].  Returns [Some outcome]
+     if this traversal is over (either because we claimed [him] or
+     because somebody claimed us while we tried), [None] to keep going.
+     [my_box] is re-announced on a failed claim, per Fig. 4. *)
+  let try_collide t ~kind ~value ~my_cell ~my_box him =
+    match E.get t.location.(him) with
+    | Location.Announced { balancer; kind = his_kind; value = his_value }
+      as his_box
+      when balancer = t.id && (t.eliminate || his_kind = kind) ->
+        if E.compare_and_set my_cell !my_box Location.Empty then
+          if his_kind = kind then
+            if
+              E.compare_and_set t.location.(him) his_box Location.Diffracted
+            then begin
+              (* Diffracting collision: we take wire 1, partner wire 0. *)
+              Elim_stats.note_diffracted t.stats 1;
+              Some (Location.Exit 1)
+            end
+            else begin
+              my_box := announce t ~kind ~value;
+              None
+            end
+          else if
+            E.compare_and_set t.location.(him) his_box
+              (Location.Eliminated_slot value)
+          then begin
+            (* Eliminating collision: our value is now in the partner's
+               entry; an Anti initiator walks away with the Token's. *)
+            Elim_stats.note_eliminated t.stats 1;
+            Some (Location.Eliminated his_value)
+          end
+          else begin
+            my_box := announce t ~kind ~value;
+            None
+          end
+        else
+          (* Our own claim failed: someone claimed us first. *)
+          Some (claimed_outcome t my_cell)
+    | _ -> None (* stale prism slot: not (or no longer) at this balancer *)
+
+  (* Fall through to the toggle bit (Fig. 4 part 2). *)
+  let toggle_phase t ~kind ~my_cell ~my_box : 'v Location.outcome =
+    let i = toggle_index t kind in
+    Lock.acquire t.locks.(i);
+    if E.compare_and_set my_cell !my_box Location.Empty then begin
+      let old = E.get t.toggles.(i) in
+      E.set t.toggles.(i) (not old);
+      Lock.release t.locks.(i);
+      Elim_stats.note_toggled t.stats;
+      Location.Exit (toggle_wire t kind ~old)
+    end
+    else begin
+      Lock.release t.locks.(i);
+      claimed_outcome t my_cell
+    end
+
+  (* Shepherd one token or anti-token through this balancer. *)
+  let traverse t ~(kind : Location.kind) ~(value : 'v option) :
+      'v Location.outcome =
+    Elim_stats.entered t.stats kind;
+    let p = E.pid () in
+    let my_cell = t.location.(p) in
+    let my_box = ref (announce t ~kind ~value) in
+    let nprisms = Array.length t.prisms in
+    let rec prism_phase i =
+      if i >= nprisms then toggle_phase t ~kind ~my_cell ~my_box
+      else begin
+        let prism = t.prisms.(i) in
+        let slot = E.random_int (Array.length prism) in
+        let him = E.exchange prism.(slot) p in
+        let colliding =
+          if him >= 0 && him <> p then
+            try_collide t ~kind ~value ~my_cell ~my_box him
+          else None
+        in
+        match colliding with
+        | Some outcome -> outcome
+        | None -> (
+            (* Wait in hope of being collided with, then check. *)
+            E.delay t.spin;
+            match E.get my_cell with
+            | Location.Diffracted | Location.Eliminated_slot _ ->
+                claimed_outcome t my_cell
+            | Location.Announced _ | Location.Empty -> prism_phase (i + 1))
+      end
+    in
+    prism_phase 0
+
+  let stats t = t.stats
+end

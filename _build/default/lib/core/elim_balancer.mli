@@ -1,0 +1,43 @@
+(** The elimination balancer (paper §2.2–§2.4, Figures 2 and 4): a
+    one-input two-output routing element for tokens and anti-tokens.
+
+    A traversal tries to collide on a cascade of prisms: same-kind
+    pairs are {e diffracted} one to each wire; opposite-kind pairs are
+    {e eliminated}, exchanging the enqueued value and leaving the tree.
+    Non-colliding traversals fall through to MCS-locked toggle bit(s).
+
+    [`Pool] mode uses separate token/anti-token toggles (pool
+    balancing, Thm 2.6); [`Stack] mode shares one toggle, anti-tokens
+    exiting by its {e new} value so they retrace the last token (the
+    gap balancer of §3.1).  With [~eliminate:false] opposite-kind prism
+    meetings are ignored, yielding a plain (multi-prism) diffracting
+    balancer. *)
+
+module Make (E : Engine.S) : sig
+  type 'v location
+  (** The tree-wide announcement array, one entry per processor. *)
+
+  val make_location : capacity:int -> 'v location
+
+  type 'v t
+
+  val create :
+    ?mode:[ `Pool | `Stack ] ->
+    ?eliminate:bool ->
+    id:int ->
+    prism_widths:int list ->
+    spin:int ->
+    location:'v location ->
+    unit ->
+    'v t
+  (** [id] must be unique among balancers sharing [location];
+      [prism_widths] lists the prism cascade outermost first (at least
+      one); [spin] is the per-prism collision wait. *)
+
+  val traverse :
+    'v t -> kind:Location.kind -> value:'v option -> 'v Location.outcome
+  (** Shepherd one token ([value = Some _]) or anti-token
+      ([value = None]) through the balancer. *)
+
+  val stats : 'v t -> Elim_stats.t
+end

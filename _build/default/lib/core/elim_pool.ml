@@ -1,0 +1,66 @@
+(* The elimination-tree pool (paper §2.1, Theorem 2.2).
+
+   A [Pool[w]] elimination tree whose output wires feed [w] sequential
+   local pools.  An enqueue shepherds a token carrying the value down
+   the tree; if it reaches a wire, the value goes into that wire's
+   local pool.  A dequeue shepherds an anti-token; if it collides with
+   a token it returns the token's value directly, otherwise it dequeues
+   from the local pool at its output wire, waiting there if the pool is
+   momentarily empty (pool balancing, Lemma 2.1, guarantees the wait is
+   bounded whenever #enqueues >= #dequeues).
+
+   Properties: P1 — enqueues always succeed; P2 — dequeues succeed on a
+   non-empty pool; every request visits at most log w balancers. *)
+
+module Make (E : Engine.S) = struct
+  module Tree = Elim_tree.Make (E)
+  module Local = Pools.Local_pool.Make (E)
+
+  type 'v t = { tree : 'v Tree.t; leaves : 'v Local.t array }
+
+  (* [capacity] bounds the number of participating processors;
+     [leaf_size] bounds each local pool. *)
+  let create ?config ?(eliminate = true) ?(leaf_size = 4096) ~capacity ~width () =
+    let config =
+      match config with Some c -> c | None -> Tree_config.etree width
+    in
+    if config.Tree_config.width <> width then
+      invalid_arg "Elim_pool.create: config width mismatch";
+    let tree = Tree.create ~mode:`Pool ~leaf_order:`Natural ~eliminate ~capacity config in
+    let leaves =
+      Array.init width (fun _ ->
+          Local.create ~discipline:`Fifo ~size:leaf_size
+            ~lock_capacity:capacity ())
+    in
+    { tree; leaves }
+
+  let width t = Tree.width t.tree
+
+  let enqueue t v =
+    match Tree.traverse t.tree ~kind:Token ~value:(Some v) with
+    | Tree.Eliminated _ ->
+        (* Our value was handed to a concurrent dequeuer: done. *)
+        ()
+    | Tree.Leaf i -> Local.enqueue t.leaves.(i) v
+
+  (* Dequeue, waiting if necessary; [stop] bounds the wait (used by
+     benchmarks to drain at the end of a run). *)
+  let dequeue ?stop t =
+    match Tree.traverse t.tree ~kind:Anti ~value:None with
+    | Tree.Eliminated (Some v) -> Some v
+    | Tree.Eliminated None ->
+        (* An eliminating partner is always a Token and always carries a
+           value (Lemma 2.8). *)
+        assert false
+    | Tree.Leaf i -> Local.dequeue_blocking ?stop t.leaves.(i)
+
+  (* Total elements currently buffered in the leaves (quiescent-state
+     snapshot; elements in flight inside the tree are not counted). *)
+  let residue t =
+    Array.fold_left (fun acc l -> acc + Local.size l) 0 t.leaves
+
+  let stats_by_level t = Tree.stats_by_level t.tree
+  let reset_stats t = Tree.reset_stats t.tree
+  let expected_nodes_traversed t = Tree.expected_nodes_traversed t.tree
+  let leaf_access_fraction t = Tree.leaf_access_fraction t.tree
+end

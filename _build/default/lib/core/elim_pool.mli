@@ -1,0 +1,44 @@
+(** The elimination-tree pool (paper §2.1, Theorem 2.2): a [Pool[w]]
+    tree whose output wires feed [w] MCS-locked FIFO local pools.
+
+    Properties (tested): P1 — enqueues always succeed; P2 — dequeues
+    succeed whenever #enqueues ≥ #dequeues; the dequeued multiset
+    equals the enqueued one; every request visits at most [log2 w]
+    balancers. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  val create :
+    ?config:Tree_config.t ->
+    ?eliminate:bool ->
+    ?leaf_size:int ->
+    capacity:int ->
+    width:int ->
+    unit ->
+    'v t
+  (** [capacity] bounds participating processors; [leaf_size] bounds
+      each local pool; [config] defaults to [Tree_config.etree width];
+      [~eliminate:false] keeps diffraction but disables elimination
+      (ablation). *)
+
+  val width : 'v t -> int
+
+  val enqueue : 'v t -> 'v -> unit
+  (** Never blocks indefinitely (P1); may complete by handing the value
+      directly to a concurrent dequeuer. *)
+
+  val dequeue : ?stop:(unit -> bool) -> 'v t -> 'v option
+  (** Waits at its leaf pool while empty; [stop] bounds the wait
+      (returns [None] once it fires).  Without [stop], returns [None]
+      never — under P2 conditions the wait is bounded. *)
+
+  val residue : 'v t -> int
+  (** Elements currently buffered in the leaves (exact when
+      quiescent). *)
+
+  val stats_by_level : 'v t -> Elim_stats.t list
+  val reset_stats : 'v t -> unit
+  val expected_nodes_traversed : 'v t -> float
+  val leaf_access_fraction : 'v t -> float
+end

@@ -1,0 +1,52 @@
+(* The stack-like pool (paper §3, Theorems 3.4/3.5).
+
+   An [IncDecCounter[w]] tree of *gap* elimination balancers (one shared
+   toggle bit; anti-tokens retrace token paths) with sequential local
+   stacks at the leaves, numbered in counting-tree (interleaved) order.
+   The gap step property (Lemma 3.2) keeps the surplus of pushes over
+   pops spread across the leaves with gaps of at most one, so the
+   structure behaves like a stack globally: in any sequential execution
+   it is exactly LIFO (Thm 3.5), and under concurrency it is a correct
+   pool (Thm 3.4) with LIFO-ish ordering. *)
+
+module Make (E : Engine.S) = struct
+  module Tree = Elim_tree.Make (E)
+  module Local = Pools.Local_pool.Make (E)
+
+  type 'v t = { tree : 'v Tree.t; leaves : 'v Local.t array }
+
+  let create ?config ?(eliminate = true) ?(leaf_size = 4096) ~capacity ~width () =
+    let config =
+      match config with Some c -> c | None -> Tree_config.etree width
+    in
+    if config.Tree_config.width <> width then
+      invalid_arg "Elim_stack.create: config width mismatch";
+    let tree =
+      Tree.create ~mode:`Stack ~leaf_order:`Interleaved ~eliminate ~capacity config
+    in
+    let leaves =
+      Array.init width (fun _ ->
+          Local.create ~discipline:`Lifo ~size:leaf_size
+            ~lock_capacity:capacity ())
+    in
+    { tree; leaves }
+
+  let width t = Tree.width t.tree
+
+  let push t v =
+    match Tree.traverse t.tree ~kind:Token ~value:(Some v) with
+    | Tree.Eliminated _ -> () (* handed straight to a popper *)
+    | Tree.Leaf i -> Local.enqueue t.leaves.(i) v
+
+  let pop ?stop t =
+    match Tree.traverse t.tree ~kind:Anti ~value:None with
+    | Tree.Eliminated (Some v) -> Some v
+    | Tree.Eliminated None -> assert false
+    | Tree.Leaf i -> Local.dequeue_blocking ?stop t.leaves.(i)
+
+  let residue t =
+    Array.fold_left (fun acc l -> acc + Local.size l) 0 t.leaves
+
+  let stats_by_level t = Tree.stats_by_level t.tree
+  let reset_stats t = Tree.reset_stats t.tree
+end

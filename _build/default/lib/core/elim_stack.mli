@@ -1,0 +1,33 @@
+(** The stack-like pool (paper §3, Theorems 3.4/3.5): an
+    [IncDecCounter[w]] tree of gap elimination balancers with LIFO
+    local stacks at its (counting-tree-ordered) leaves.
+
+    The gap step property (Lemma 3.2) keeps the push-over-pop surplus
+    spread within one across the leaves, so the structure is a correct
+    pool that is exactly LIFO in sequential executions and LIFO-ish
+    under concurrency. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  val create :
+    ?config:Tree_config.t ->
+    ?eliminate:bool ->
+    ?leaf_size:int ->
+    capacity:int ->
+    width:int ->
+    unit ->
+    'v t
+
+  val width : 'v t -> int
+
+  val push : 'v t -> 'v -> unit
+
+  val pop : ?stop:(unit -> bool) -> 'v t -> 'v option
+  (** See {!Elim_pool.Make.dequeue} for the [stop] contract. *)
+
+  val residue : 'v t -> int
+
+  val stats_by_level : 'v t -> Elim_stats.t list
+  val reset_stats : 'v t -> unit
+end

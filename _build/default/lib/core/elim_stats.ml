@@ -1,0 +1,63 @@
+(* Per-balancer traversal statistics, aggregated per tree level to
+   reproduce the paper's Table 1 (fraction of tokens eliminated per
+   level) and the expected-depth numbers quoted in §2.5.
+
+   Counters are plain mutable ints: under the (single-threaded)
+   simulator they are exact and cost no simulated cycles, so collecting
+   them never perturbs an experiment.  Under the native engine they are
+   racy and therefore approximate; they remain useful as indicators but
+   are not used by any native test assertion. *)
+
+type t = {
+  mutable token_entries : int; (* tokens entering this balancer *)
+  mutable anti_entries : int;  (* anti-tokens entering this balancer *)
+  mutable eliminated : int;    (* individuals eliminated here (2/pair) *)
+  mutable diffracted : int;    (* individuals diffracted here (2/pair) *)
+  mutable toggled : int;       (* individuals that used the toggle bit *)
+}
+
+let create () =
+  {
+    token_entries = 0;
+    anti_entries = 0;
+    eliminated = 0;
+    diffracted = 0;
+    toggled = 0;
+  }
+
+let reset t =
+  t.token_entries <- 0;
+  t.anti_entries <- 0;
+  t.eliminated <- 0;
+  t.diffracted <- 0;
+  t.toggled <- 0
+
+let entered t (kind : Location.kind) =
+  match kind with
+  | Token -> t.token_entries <- t.token_entries + 1
+  | Anti -> t.anti_entries <- t.anti_entries + 1
+
+let note_eliminated t n = t.eliminated <- t.eliminated + n
+let note_diffracted t n = t.diffracted <- t.diffracted + n
+let note_toggled t = t.toggled <- t.toggled + 1
+
+let entries t = t.token_entries + t.anti_entries
+
+(* Sum a list of per-balancer stats (e.g. all balancers on one level). *)
+let merge stats =
+  let acc = create () in
+  List.iter
+    (fun s ->
+      acc.token_entries <- acc.token_entries + s.token_entries;
+      acc.anti_entries <- acc.anti_entries + s.anti_entries;
+      acc.eliminated <- acc.eliminated + s.eliminated;
+      acc.diffracted <- acc.diffracted + s.diffracted;
+      acc.toggled <- acc.toggled + s.toggled)
+    stats;
+  acc
+
+(* Table 1's metric: of the tokens that entered this level, the fraction
+   that were eliminated here. *)
+let elimination_fraction t =
+  let e = entries t in
+  if e = 0 then 0.0 else float_of_int t.eliminated /. float_of_int e

@@ -1,0 +1,29 @@
+(** Per-balancer traversal statistics (for the paper's Table 1 and the
+    derived §2.5.1 numbers).  Plain mutable counters: exact and free
+    under the single-threaded simulator; racy (hence approximate) under
+    native parallelism and not used in native assertions. *)
+
+type t = {
+  mutable token_entries : int;
+  mutable anti_entries : int;
+  mutable eliminated : int;  (** individuals eliminated here (2/pair) *)
+  mutable diffracted : int;  (** individuals diffracted here (2/pair) *)
+  mutable toggled : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val entered : t -> Location.kind -> unit
+val note_eliminated : t -> int -> unit
+val note_diffracted : t -> int -> unit
+val note_toggled : t -> unit
+
+val entries : t -> int
+(** Tokens plus anti-tokens that entered. *)
+
+val merge : t list -> t
+(** Sum (e.g. all balancers of one tree level). *)
+
+val elimination_fraction : t -> float
+(** Table 1's metric: eliminated here / entered here (0 if idle). *)

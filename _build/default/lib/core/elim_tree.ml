@@ -1,0 +1,122 @@
+(* A binary tree of elimination balancers (paper §2.1, Fig. 3).
+
+   [Pool[w]] is built inductively: a root balancer whose two output
+   wires feed two [Pool[w/2]] subtrees.  We store the balancers in heap
+   order (root at 0, children of i at 2i+1 / 2i+2) and number the [w]
+   outputs according to [leaf_order]:
+
+   - [`Natural]: left-to-right, as in the pool construction (§2) where
+     any leaf assignment satisfying per-subtree balance works;
+   - [`Interleaved]: outputs of the wire-0 subtree are the even outputs
+     and those of the wire-1 subtree the odd ones — the counting-tree
+     numbering required by [IncDecCounter[w]] (§3.1), obtained by
+     reading the wire choices as bits from the root (LSB) down.
+
+   A traversal shepherds one token or anti-token from the root to either
+   a leaf index or an elimination. *)
+
+module Make (E : Engine.S) = struct
+  module Balancer = Elim_balancer.Make (E)
+
+  type 'v result = Leaf of int | Eliminated of 'v option
+
+  type 'v t = {
+    width : int;
+    depth : int;
+    leaf_order : [ `Natural | `Interleaved ];
+    balancers : 'v Balancer.t array; (* heap order; width-1 of them *)
+    location : 'v Balancer.location;
+  }
+
+  let depth_of_index i =
+    (* floor(log2 (i+1)): balancer i sits at this depth. *)
+    let rec go d n = if n <= 1 then d else go (d + 1) (n / 2) in
+    go 0 (i + 1)
+
+  let create ?(mode = `Pool) ?(eliminate = true) ?(leaf_order = `Natural)
+      ~capacity (config : Tree_config.t) =
+    let config = Tree_config.validate config in
+    let width = config.width in
+    let location = Balancer.make_location ~capacity in
+    let balancers =
+      Array.init (width - 1) (fun i ->
+          let level = config.levels.(depth_of_index i) in
+          Balancer.create ~mode ~eliminate ~id:i
+            ~prism_widths:level.prism_widths ~spin:level.spin ~location ())
+    in
+    {
+      width;
+      depth = Tree_config.depth_of_width width;
+      leaf_order;
+      balancers;
+      location;
+    }
+
+  let width t = t.width
+
+  let traverse t ~(kind : Location.kind) ~(value : 'v option) : 'v result =
+    if t.width = 1 then Leaf 0
+    else begin
+      let rec go idx depth acc =
+        match Balancer.traverse t.balancers.(idx) ~kind ~value with
+        | Location.Eliminated v -> Eliminated v
+        | Location.Exit wire ->
+            let acc =
+              match t.leaf_order with
+              | `Natural -> (acc lsl 1) lor wire
+              | `Interleaved -> acc lor (wire lsl depth)
+            in
+            let child = (2 * idx) + 1 + wire in
+            if child >= t.width - 1 then Leaf acc else go child (depth + 1) acc
+      in
+      go 0 0 0
+    end
+
+  (* Statistics for Table 1: merged per depth, root first. *)
+  let stats_by_level t =
+    List.init t.depth (fun d ->
+        let level_stats = ref [] in
+        Array.iteri
+          (fun i b ->
+            if depth_of_index i = d then
+              level_stats := Balancer.stats b :: !level_stats)
+          t.balancers;
+        Elim_stats.merge !level_stats)
+
+  let reset_stats t =
+    Array.iter (fun b -> Elim_stats.reset (Balancer.stats b)) t.balancers
+
+  (* Expected number of balancers traversed per token (plus one leaf
+     visit for non-eliminated ones), §2.5's "expected number of nodes". *)
+  let expected_nodes_traversed t =
+    let levels = stats_by_level t in
+    let entered_root =
+      match levels with [] -> 0 | s :: _ -> Elim_stats.entries s
+    in
+    if entered_root = 0 then 0.0
+    else begin
+      let visits =
+        List.fold_left (fun acc s -> acc + Elim_stats.entries s) 0 levels
+      in
+      (* Tokens that exit the bottom level visit their leaf pool too. *)
+      let reached_leaves =
+        match List.rev levels with
+        | [] -> 0
+        | last :: _ ->
+            Elim_stats.entries last - last.Elim_stats.eliminated
+      in
+      float_of_int (visits + reached_leaves) /. float_of_int entered_root
+    end
+
+  (* Fraction of root entries that eventually accessed a leaf pool. *)
+  let leaf_access_fraction t =
+    let levels = stats_by_level t in
+    match (levels, List.rev levels) with
+    | s :: _, last :: _ ->
+        let entered = Elim_stats.entries s in
+        if entered = 0 then 0.0
+        else
+          float_of_int (Elim_stats.entries last - last.Elim_stats.eliminated)
+          /. float_of_int entered
+    | _ -> 0.0
+end

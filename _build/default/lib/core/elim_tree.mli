@@ -1,0 +1,44 @@
+(** Binary trees of elimination balancers ([Pool[w]] of §2.1 and the
+    counting-tree layout of §3.1).
+
+    Balancers are stored in heap order; the [w] outputs are numbered
+    [`Natural] (left-to-right, for the pool) or [`Interleaved]
+    (counting-tree order: the wire-0 subtree yields the even outputs —
+    required by [IncDecCounter[w]] and the stack-like pool). *)
+
+module Make (E : Engine.S) : sig
+  module Balancer : module type of Elim_balancer.Make (E)
+
+  type 'v result = Leaf of int | Eliminated of 'v option
+
+  type 'v t
+
+  val create :
+    ?mode:[ `Pool | `Stack ] ->
+    ?eliminate:bool ->
+    ?leaf_order:[ `Natural | `Interleaved ] ->
+    capacity:int ->
+    Tree_config.t ->
+    'v t
+  (** [capacity] bounds participating processors (it sizes the shared
+      Location array and the toggle locks).  Defaults: [`Pool] mode,
+      elimination on, [`Natural] order. *)
+
+  val width : 'v t -> int
+
+  val traverse : 'v t -> kind:Location.kind -> value:'v option -> 'v result
+  (** Shepherd one token or anti-token from the root to a leaf index or
+      an elimination.  At most [log2 width] balancers are visited. *)
+
+  val stats_by_level : 'v t -> Elim_stats.t list
+  (** Merged statistics per depth, root first (Table 1). *)
+
+  val reset_stats : 'v t -> unit
+
+  val expected_nodes_traversed : 'v t -> float
+  (** Average balancers (plus one leaf visit for survivors) per request
+      since the last reset — §2.5.1's "expected number of nodes". *)
+
+  val leaf_access_fraction : 'v t -> float
+  (** Fraction of requests that reached a leaf pool. *)
+end

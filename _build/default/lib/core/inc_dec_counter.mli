@@ -1,0 +1,37 @@
+(** [IncDecCounter[w]] (paper §3.1): a counting tree of gap elimination
+    balancers supporting concurrent increments (tokens) and decrements
+    (anti-tokens) with the gap step property (Lemma 3.2) on its
+    outputs.
+
+    As a counter, leaf [i] carries the value sequence [i, i+w, ...].
+    An increment/decrement pair that eliminates inside the tree
+    cancels without touching a leaf and both return {!Make.Paired}
+    (linearized as adjacent operations); create with
+    [~eliminate:false] when every operation must fetch a concrete
+    value. *)
+
+module Make (E : Engine.S) : sig
+  module Tree : module type of Elim_tree.Make (E)
+
+  type outcome =
+    | Slot of int  (** the value fetched at a leaf *)
+    | Paired       (** cancelled against a concurrent opposite op *)
+
+  type t
+
+  val create :
+    ?config:Tree_config.t ->
+    ?eliminate:bool ->
+    capacity:int ->
+    width:int ->
+    unit ->
+    t
+
+  val increment : t -> outcome
+  val decrement : t -> outcome
+
+  val traverse : t -> kind:Location.kind -> unit Tree.result
+  (** Raw tree access, for property tests of the gap step property. *)
+
+  val stats_by_level : t -> Elim_stats.t list
+end

@@ -1,0 +1,36 @@
+(* Types for the balancer collision protocol (paper Fig. 4 and §2.4).
+
+   Every tree owns one [entry cell] per processor (the paper's global
+   [Location: shared array[1..numprocs]]).  A processor announces its
+   token at a balancer by storing an [Announced] record there; colliders
+   claim it by CASing that exact record out.  Because the engines' CAS
+   compares physical equality and every announcement allocates a fresh
+   record, an announcement can be claimed at most once — which is the
+   content of the paper's Lemmas 2.4/2.5 (no token is diffracted or
+   eliminated twice, and a claimed token cannot also toggle). *)
+
+type kind = Token | Anti
+(* Token = enqueue / increment; Anti = dequeue / decrement. *)
+
+let opposite = function Token -> Anti | Anti -> Token
+
+type 'v entry =
+  | Empty
+      (* cleared by the owner before it commits to a collision or
+         toggle *)
+  | Announced of { balancer : int; kind : kind; value : 'v option }
+      (* owner is traversing balancer [balancer]; [value] is the
+         enqueued element for a Token, [None] for an Anti *)
+  | Diffracted
+      (* a same-kind partner claimed us: leave on output wire 0 *)
+  | Eliminated_slot of 'v option
+      (* an opposite-kind partner claimed us and left its value (the
+         paper's <0,ELIMINATED,value>): an Anti finds the Token's element
+         here, a Token finds [None] and knows its element was taken *)
+
+(* The result of shepherding a token through one balancer. *)
+type 'v outcome =
+  | Exit of int (* continue on output wire 0 or 1 *)
+  | Eliminated of 'v option
+      (* collided with an opposite-kind token and left the tree;
+         for an Anti the payload is the matched Token's element *)

@@ -1,0 +1,28 @@
+(** Types for the balancer collision protocol (paper Fig. 4, §2.4).
+
+    Each tree owns one [entry cell] per processor (the paper's global
+    [Location] array).  A processor announces its token at a balancer
+    with a fresh [Announced] record; a collider claims it by CASing
+    that exact record out.  Physical identity of the record is the
+    claim ticket: an announcement can be claimed at most once (the
+    paper's Lemmas 2.4/2.5). *)
+
+type kind = Token | Anti
+(** [Token] = enqueue / increment; [Anti] = dequeue / decrement. *)
+
+val opposite : kind -> kind
+
+type 'v entry =
+  | Empty  (** cleared by the owner before committing to a collision or toggle *)
+  | Announced of { balancer : int; kind : kind; value : 'v option }
+      (** owner is traversing balancer [balancer]; [value] is the
+          enqueued element for a [Token], [None] for an [Anti] *)
+  | Diffracted  (** a same-kind partner claimed us: leave on wire 0 *)
+  | Eliminated_slot of 'v option
+      (** an opposite-kind partner claimed us and left its value *)
+
+type 'v outcome =
+  | Exit of int  (** continue on output wire 0 or 1 *)
+  | Eliminated of 'v option
+      (** collided with an opposite-kind token and left the tree; for
+          an [Anti] the payload is the matched token's element *)

@@ -1,0 +1,87 @@
+(* Per-level tuning of a tree of balancers: prism widths and spin times.
+
+   The paper (§2.5) reports the parameters found best on the simulated
+   Alewife machine; the defaults here follow them:
+
+   - Elimination tree of width 32: two prisms at the top two levels
+     (root 32 then 8; its children 16 then 4) and a single small prism
+     below (2, 1, 1), spin halving by depth.  The top-level sizes
+     follow the stated rule "optimal prism width = width of the subtree
+     below the balancer"; the deeper levels are small because most
+     traffic has already been eliminated (Table 1).
+   - Original diffracting tree of width 32: single prisms 8/4/2/2/1,
+     spin 32/16/8/4/2 (the optimized parameters of [24] quoted in §2.5).
+
+   For other widths the defaults extrapolate the same schedules. *)
+
+type level = {
+  prism_widths : int list; (* outermost (largest) prism first *)
+  spin : int;              (* cycles to wait for a collision per prism *)
+}
+
+type t = {
+  width : int;        (* number of tree outputs; a power of two *)
+  levels : level array; (* levels.(d) configures all depth-d balancers *)
+}
+
+let is_power_of_two w = w > 0 && w land (w - 1) = 0
+
+let depth_of_width width =
+  let rec go acc w = if w <= 1 then acc else go (acc + 1) (w / 2) in
+  go 0 width
+
+let validate t =
+  if not (is_power_of_two t.width) then
+    invalid_arg "Tree_config: width must be a power of two";
+  if Array.length t.levels <> depth_of_width t.width then
+    invalid_arg "Tree_config: one level entry per tree depth required";
+  Array.iter
+    (fun l ->
+      if l.spin < 0 then invalid_arg "Tree_config: negative spin";
+      List.iter
+        (fun w -> if w < 1 then invalid_arg "Tree_config: prism width < 1")
+        l.prism_widths)
+    t.levels;
+  t
+
+(* The paper quotes spin 32/16/8/4/2 (by depth) in Proteus time units,
+   where globally visible operations cost only a few units.  Our cost
+   model charges 6-12 cycles per shared access, so the equivalent
+   collision window is about twice as long; 64/32/16/8/4 reproduces the
+   paper's elimination rates and keeps latency falling through 256
+   processors (see EXPERIMENTS.md).  *)
+let spin_for ?(base = 64) ~depth () = max 2 (base lsr depth)
+
+(* The paper's elimination-tree schedule.  Depth 0 and 1 get two prisms
+   of decreasing size; deeper levels one small prism. *)
+let etree ?spin_base width =
+  let depth = depth_of_width width in
+  let levels =
+    Array.init depth (fun d ->
+        let subtree = width lsr d in
+        let prism_widths =
+          if d <= 1 then [ subtree; max 1 (subtree / 4) ]
+          else [ max 1 (width lsr (d + 2)) ]
+        in
+        { prism_widths; spin = spin_for ?base:spin_base ~depth:d () })
+  in
+  validate { width; levels }
+
+(* The original single-prism diffracting-tree schedule of [24]. *)
+let dtree ?spin_base width =
+  let depth = depth_of_width width in
+  let paper_32 = [| 8; 4; 2; 2; 1 |] in
+  let levels =
+    Array.init depth (fun d ->
+        let prism =
+          if width = 32 && d < Array.length paper_32 then paper_32.(d)
+          else max 1 (width lsr (d + 2))
+        in
+        { prism_widths = [ prism ]; spin = spin_for ?base:spin_base ~depth:d () })
+  in
+  validate { width; levels }
+
+(* The multi-layered-prism diffracting balancer of §2.5.2 ("Dtree-32 +
+   MulPri"): the elimination tree's prism schedule applied to a plain
+   diffracting tree. *)
+let dtree_multiprism ?spin_base width = etree ?spin_base width

@@ -1,0 +1,34 @@
+(** Per-level tuning of a tree of balancers: prism widths and spin
+    times, defaulting to the parameters the paper reports in §2.5. *)
+
+type level = {
+  prism_widths : int list;  (** outermost (largest) prism first *)
+  spin : int;               (** cycles to wait for a collision per prism *)
+}
+
+type t = {
+  width : int;          (** number of tree outputs; a power of two *)
+  levels : level array; (** [levels.(d)] configures all depth-d balancers *)
+}
+
+val validate : t -> t
+(** Returns its argument; raises [Invalid_argument] on a non-power-of-
+    two width, a wrong number of levels, or nonsensical entries. *)
+
+val depth_of_width : int -> int
+(** log2 of the width: balancer levels in the tree. *)
+
+val etree : ?spin_base:int -> int -> t
+(** The paper's elimination-tree schedule: two prisms at the top two
+    levels (root: subtree width then width/4), one small prism below;
+    spin halving by depth from [spin_base] (default 64, twice the
+    paper's quoted numbers — see DESIGN.md §6; native deployments with
+    cheap atomics may prefer a smaller base). *)
+
+val dtree : ?spin_base:int -> int -> t
+(** The original single-prism diffracting-tree schedule of [24]
+    (widths 8/4/2/2/1 and spin 32/16/8/4/2 for width 32). *)
+
+val dtree_multiprism : ?spin_base:int -> int -> t
+(** The multi-layered-prism diffracting balancer of §2.5.2 — the
+    elimination tree's prism schedule on a plain diffracting tree. *)

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Native_engine Sig_ Splitmix

@@ -1,0 +1,1 @@
+lib/engine/native_engine.ml: Atomic Domain Splitmix Sys

@@ -1,0 +1,1 @@
+lib/engine/native_engine.mli: Atomic Sig_

@@ -1,0 +1,1 @@
+lib/engine/splitmix.ml: Int64

@@ -1,0 +1,22 @@
+(** Execution engines for the elimination-tree library.
+
+    The concurrent algorithms in this repository are functors over
+    {!module-type:S}, the small set of shared-memory primitives the paper
+    assumes of its hardware.  Two engines implement it:
+
+    - {!Native}: OCaml 5 [Atomic] cells and [Domain] processors — the
+      engine behind the reusable library;
+    - [Sim.Engine] (in the [sim] library): a deterministic discrete-event
+      multiprocessor simulator used to reproduce the paper's
+      256-processor Proteus/Alewife experiments.
+
+    {!Splitmix} is the deterministic PRNG shared by both engines. *)
+
+module type S = Sig_.S
+(** Shared-memory engine interface; see {!Sig_.S} for per-item docs. *)
+
+module Native = Native_engine
+(** The native OCaml 5 engine ([Atomic] + [Domain]). *)
+
+module Splitmix = Splitmix
+(** Splitmix64 deterministic PRNG with independent streams. *)

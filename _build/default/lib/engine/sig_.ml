@@ -1,0 +1,75 @@
+(* The execution-engine abstraction.
+
+   Every concurrent algorithm in this repository (elimination trees,
+   diffracting trees, combining trees, MCS locks, pools, RSU) is written
+   once as a functor over [S] and instantiated twice:
+
+   - against {!Native_engine}, where a cell is an ['a Atomic.t] and
+     processors are OCaml 5 domains — the reusable library; and
+   - against [Sim.Engine], where every operation is a discrete-event
+     simulation step with a cycle cost and per-location contention — the
+     vehicle for reproducing the paper's 256-processor experiments.
+
+   The three read-modify-write primitives are exactly the ones the paper
+   assumes of the hardware: [exchange] (the paper's
+   [register_to_memory_swap]), [compare_and_set] ([compare_and_swap]) and
+   [fetch_and_add] ([fetch_and_increment]).  [compare_and_set] compares
+   with physical equality, matching [Atomic.compare_and_set]; all
+   algorithms here only ever CAS against a value they previously read or
+   wrote, so physical equality is sufficient. *)
+
+module type S = sig
+  type 'a cell
+  (** A shared memory location holding a value of type ['a]. *)
+
+  val cell : 'a -> 'a cell
+  (** [cell v] allocates a fresh shared location initialized to [v].
+      Allocation is free of synchronization cost in both engines, so it
+      may be used during data-structure construction. *)
+
+  val get : 'a cell -> 'a
+  (** Atomic read. *)
+
+  val set : 'a cell -> 'a -> unit
+  (** Atomic write. *)
+
+  val exchange : 'a cell -> 'a -> 'a
+  (** [exchange c v] atomically stores [v] and returns the previous
+      value (the paper's register-to-memory swap). *)
+
+  val compare_and_set : 'a cell -> 'a -> 'a -> bool
+  (** [compare_and_set c expected desired] atomically replaces the
+      contents with [desired] iff they are physically equal to
+      [expected]; returns whether the replacement happened. *)
+
+  val fetch_and_add : int cell -> int -> int
+  (** [fetch_and_add c k] atomically adds [k] and returns the previous
+      value. *)
+
+  val pid : unit -> int
+  (** Dense identifier of the calling processor, in [0, nprocs ())].
+      Used to index per-processor announcement arrays such as the
+      elimination balancer's [Location] array. *)
+
+  val nprocs : unit -> int
+  (** Upper bound on the number of processors that will participate. *)
+
+  val delay : int -> unit
+  (** [delay n] performs [n] units of local work: simulated cycles under
+      the simulator, [Domain.cpu_relax] iterations natively.  This is the
+      balancer's spin-wait and the workloads' think time. *)
+
+  val cpu_relax : unit -> unit
+  (** A minimal backoff hint, cheaper than [delay 1] natively. *)
+
+  val random_int : int -> int
+  (** [random_int n] draws uniformly from [0, n) using the calling
+      processor's private stream (no cross-processor synchronization). *)
+
+  val random_bernoulli : num:int -> den:int -> bool
+  (** Bernoulli trial with probability [num/den] on the private stream. *)
+
+  val now : unit -> int
+  (** Elapsed time: simulated cycles under the simulator, an approximate
+      nanosecond clock natively.  Workload loop bounds use this. *)
+end

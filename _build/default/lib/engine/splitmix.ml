@@ -1,0 +1,50 @@
+(* Splitmix64 pseudo-random number generator (Steele, Lea & Flood 2014).
+
+   Used for all randomized decisions in the library: prism slot choice,
+   RSU partner choice and workload think times.  It is deterministic per
+   seed, which the simulator relies on for reproducible experiments, and
+   each simulated processor (or native domain) owns an independent
+   stream, so drawing numbers never synchronizes between processors. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+(* Derive an independent stream: mixing the parent seed with the stream
+   index through the output function keeps streams decorrelated even for
+   consecutive indices. *)
+let split t ~index =
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+    Int64.logxor z (Int64.shift_right_logical z 33)
+  in
+  create (mix (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (index + 1)))))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound).  Rejection sampling over the top 62 bits avoids
+   modulo bias beyond one part in 2^62 / bound, which is negligible for
+   the bounds used here (all well below 2^30). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Bernoulli trial with probability [num]/[den]. *)
+let bernoulli t ~num ~den =
+  if den <= 0 then invalid_arg "Splitmix.bernoulli: den must be positive";
+  if num <= 0 then false
+  else if num >= den then true
+  else int t den < num

@@ -1,0 +1,33 @@
+(** Splitmix64 pseudo-random number generator (Steele, Lea & Flood,
+    OOPSLA 2014).
+
+    Deterministic per seed — the simulator relies on this for
+    reproducible experiments — with cheap derivation of decorrelated
+    per-processor streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator from a 64-bit seed. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val split : t -> index:int -> t
+(** [split base ~index] derives an independent stream for stream
+    [index] without advancing [base]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val bernoulli : t -> num:int -> den:int -> bool
+(** [bernoulli t ~num ~den] is true with probability [num/den]
+    (clamped to [\[0,1\]]).  Raises [Invalid_argument] if [den <= 0]. *)

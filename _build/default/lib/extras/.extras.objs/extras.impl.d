@@ -1,0 +1,1 @@
+lib/extras/extras.ml: Eb_stack Exchanger Treiber_stack

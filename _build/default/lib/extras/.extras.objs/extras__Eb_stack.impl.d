@@ -1,0 +1,1 @@
+lib/extras/eb_stack.ml: Array Engine Exchanger Treiber_stack

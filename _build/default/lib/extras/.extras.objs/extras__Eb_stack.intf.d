@@ -1,0 +1,1 @@
+lib/extras/eb_stack.mli: Engine

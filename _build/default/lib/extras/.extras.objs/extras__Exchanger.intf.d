@@ -1,0 +1,1 @@
+lib/extras/exchanger.mli: Engine

@@ -1,0 +1,1 @@
+lib/extras/treiber_stack.mli: Engine

@@ -1,0 +1,97 @@
+(* The elimination-backoff stack (Hendler, Shavit & Yerushalmi, SPAA
+   2004) — the design through which this paper's elimination technique
+   became standard in concurrent data structures, implemented here as a
+   forward-looking extension of the reproduction.
+
+   A Treiber stack is the fast path.  When the top-of-stack CAS fails
+   under contention, the operation backs off into an *elimination
+   array* of exchanger slots: a push and a pop that meet there cancel
+   directly, exactly like an eliminating collision in a tree balancer —
+   but with no tree, so there is no deterministic O(log w) termination
+   guarantee, only lock-freedom.  Contrast with [Core.Elim_stack]:
+
+   - eb-stack: strict LIFO linearizable stack, lock-free, elimination
+     only under contention;
+   - elimination tree: stack-like pool (LIFO-ish), bounded balancer
+     path, elimination is the common case under load. *)
+
+module Make (E : Engine.S) = struct
+  module Treiber = Treiber_stack.Make (E)
+  module Exchanger = Exchanger.Make (E)
+
+  type 'a t = {
+    stack : 'a Treiber.t;
+    slots : 'a Exchanger.t array;
+    patience : int;
+    elim_rounds : int;
+  }
+
+  (* [elim_rounds]: how many exchange attempts to make after a failed
+     top-of-stack CAS before coming back to the hot spot.  Staying in
+     the elimination layer while the top is contended is the heart of
+     the HSY design — retrying the central CAS immediately would only
+     lengthen its queue. *)
+  let create ?(slots = 16) ?(patience = 16) ?(elim_rounds = 32) () =
+    if slots < 1 then invalid_arg "Eb_stack.create";
+    {
+      stack = Treiber.create ();
+      slots = Array.init slots (fun _ -> Exchanger.create ());
+      patience;
+      elim_rounds;
+    }
+
+  let random_slot t = t.slots.(E.random_int (Array.length t.slots))
+
+  (* Try the elimination layer up to [elim_rounds] times; [None] means
+     the caller should go back to the central stack. *)
+  let try_eliminate t ~kind ~value =
+    let rec rounds k =
+      if k = 0 then None
+      else
+        match Exchanger.exchange (random_slot t) ~kind ~value ~patience:t.patience with
+        | Some payload -> Some payload
+        | None -> rounds (k - 1)
+    in
+    rounds t.elim_rounds
+
+  let rec push t v =
+    let top = E.get t.stack in
+    if
+      not
+        (E.compare_and_set t.stack top
+           (Treiber.Cons { value = v; next = top }))
+    then begin
+      (* Contention: try to hand the value straight to a popper. *)
+      match try_eliminate t ~kind:Exchanger.Push ~value:(Some v) with
+      | Some _ -> () (* eliminated against a pop *)
+      | None -> push t v
+    end
+
+  let rec try_pop t =
+    match E.get t.stack with
+    | Treiber.Nil -> None
+    | Treiber.Cons { value; next } as top ->
+        if E.compare_and_set t.stack top next then Some value
+        else begin
+          match try_eliminate t ~kind:Exchanger.Pop ~value:None with
+          | Some (Some v) -> Some v (* eliminated against a push *)
+          | Some None ->
+              (* Partner was a Push by construction, so it carried a
+                 value. *)
+              assert false
+          | None -> try_pop t
+        end
+
+  let pop ?(poll = 16) ?(stop = fun () -> false) t =
+    let rec attempt () =
+      match try_pop t with
+      | Some _ as v -> v
+      | None ->
+          if stop () then None
+          else begin
+            E.delay poll;
+            attempt ()
+          end
+    in
+    attempt ()
+end

@@ -1,0 +1,20 @@
+(** The elimination-backoff stack [Hendler, Shavit & Yerushalmi 2004]:
+    a Treiber stack whose contention path retries an elimination array
+    of exchanger slots — the design through which this paper's
+    technique became standard.  Strictly LIFO and lock-free; unlike the
+    elimination tree it keeps a central hot spot, so it saturates at
+    very high simulated processor counts (see EXPERIMENTS.md,
+    ablations). *)
+
+module Make (E : Engine.S) : sig
+  type 'a t
+
+  val create : ?slots:int -> ?patience:int -> ?elim_rounds:int -> unit -> 'a t
+  (** [slots]: exchanger array width; [patience]: wait per exchange
+      attempt; [elim_rounds]: exchange attempts after each failed
+      top-of-stack CAS before returning to the hot spot. *)
+
+  val push : 'a t -> 'a -> unit
+  val try_pop : 'a t -> 'a option
+  val pop : ?poll:int -> ?stop:(unit -> bool) -> 'a t -> 'a option
+end

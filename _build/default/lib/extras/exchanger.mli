@@ -1,0 +1,20 @@
+(** A lock-free, kind-aware exchange slot (after Scherer, Lea & Scott):
+    the paper's eliminating collision re-derived on one location, and
+    the building block of the elimination-backoff stack.  A posted
+    offer can be claimed only by the opposite kind; physical identity
+    of the offer record is the claim ticket. *)
+
+module Make (E : Engine.S) : sig
+  type kind = Push | Pop
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val exchange :
+    'a t -> kind:kind -> value:'a option -> patience:int -> 'a option option
+  (** One bounded-duration exchange attempt.  [Some payload]: matched a
+      partner ([payload] is the partner's value — [Some v] from a Push,
+      [None] from a Pop).  [None]: nobody compatible showed up within
+      [patience]; retry the caller's main path. *)
+end

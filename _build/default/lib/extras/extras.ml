@@ -1,0 +1,17 @@
+(** Extensions beyond the paper: the lineage of its elimination idea.
+
+    - {!Treiber_stack} — the classic CAS-on-top lock-free stack (the
+      centralized structure elimination was invented to relieve);
+    - {!Exchanger} — a kind-aware lock-free exchange slot;
+    - {!Eb_stack} — the elimination-backoff stack [Hendler, Shavit &
+      Yerushalmi 2004], the design through which elimination became a
+      standard technique; a strict-LIFO, lock-free contrast to the
+      paper's stack-like pool.
+
+    All engine-parametric: they run natively and under the simulator,
+    and the ablation benchmarks race them against the elimination
+    tree. *)
+
+module Treiber_stack = Treiber_stack
+module Exchanger = Exchanger
+module Eb_stack = Eb_stack

@@ -1,0 +1,49 @@
+(* Treiber's lock-free stack (IBM TR RJ5118, 1986): a singly linked
+   list whose top pointer is updated by compare-and-swap.  The natural
+   "centralized" contrast to the elimination-based stacks: correct and
+   non-blocking, but every operation fights over one location, so under
+   load it behaves like the hot spots of the paper's introduction.
+
+   The engines' physical-equality CAS is exactly right here: each CAS
+   compares against the node list previously read. *)
+
+module Make (E : Engine.S) = struct
+  type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+  type 'a t = 'a node E.cell
+
+  let create () : 'a t = E.cell Nil
+
+  let rec push t v =
+    let top = E.get t in
+    if not (E.compare_and_set t top (Cons { value = v; next = top })) then begin
+      E.cpu_relax ();
+      push t v
+    end
+
+  let rec try_pop t =
+    match E.get t with
+    | Nil -> None
+    | Cons { value; next } as top ->
+        if E.compare_and_set t top next then Some value
+        else begin
+          E.cpu_relax ();
+          try_pop t
+        end
+
+  (* Pop, waiting for an element; [stop] bounds the wait. *)
+  let pop ?(poll = 16) ?(stop = fun () -> false) t =
+    let rec attempt () =
+      match try_pop t with
+      | Some _ as v -> v
+      | None ->
+          if stop () then None
+          else begin
+            E.delay poll;
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let is_empty t = E.get t = Nil
+end

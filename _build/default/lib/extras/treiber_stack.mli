@@ -1,0 +1,16 @@
+(** Treiber's lock-free stack (1986): a linked list with a CAS-updated
+    top pointer — the centralized structure that elimination was
+    invented to relieve.  Exposed representation so the
+    elimination-backoff stack can share its fast path. *)
+
+module Make (E : Engine.S) : sig
+  type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+  type 'a t = 'a node E.cell
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val try_pop : 'a t -> 'a option
+  val pop : ?poll:int -> ?stop:(unit -> bool) -> 'a t -> 'a option
+  val is_empty : 'a t -> bool
+end

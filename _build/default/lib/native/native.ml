@@ -1,0 +1,46 @@
+(** The full library instantiated on the native OCaml 5 engine
+    ([Atomic] cells, [Domain] processors): ready-to-use concurrent
+    structures.
+
+    Before creating any structure, size the engine to the number of
+    domains that will participate:
+    {[
+      Engine.Native.set_capacity 8;
+      let pool = Native.Elim_pool.create ~capacity:8 ~width:4 () in
+      ...
+    ]}
+
+    Every module here is the corresponding functor applied to
+    {!Engine.Native}; see the functor for semantics and references into
+    the paper. *)
+
+module E = Engine.Native
+
+(* The paper's contribution. *)
+module Elim_balancer = Core.Elim_balancer.Make (E)
+module Elim_tree = Core.Elim_tree.Make (E)
+module Elim_pool = Core.Elim_pool.Make (E)
+module Elim_stack = Core.Elim_stack.Make (E)
+module Inc_dec_counter = Core.Inc_dec_counter.Make (E)
+
+(* Synchronization substrate. *)
+module Backoff = Sync.Backoff.Make (E)
+module Mcs_lock = Sync.Mcs_lock.Make (E)
+module Tas_lock = Sync.Tas_lock.Make (E)
+module Anderson_lock = Sync.Anderson_lock.Make (E)
+module Mcs_counter = Sync.Mcs_counter.Make (E)
+module Naive_counter = Sync.Naive_counter.Make (E)
+module Combining_tree = Sync.Combining_tree.Make (E)
+
+(* Pools and baselines. *)
+module Local_pool = Pools.Local_pool.Make (E)
+module Diff_tree = Baselines.Diff_tree.Make (E)
+module Central_pool = Baselines.Central_pool.Make (E)
+module Rsu = Baselines.Rsu.Make (E)
+module Bitonic_network = Baselines.Bitonic_network.Make (E)
+module Work_stealing = Baselines.Work_stealing.Make (E)
+
+(* Extensions (see the [extras] library). *)
+module Treiber_stack = Extras.Treiber_stack.Make (E)
+module Exchanger = Extras.Exchanger.Make (E)
+module Eb_stack = Extras.Eb_stack.Make (E)

@@ -1,0 +1,1 @@
+lib/pools/pools.ml: Local_pool

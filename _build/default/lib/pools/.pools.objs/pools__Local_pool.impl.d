@@ -1,0 +1,1 @@
+lib/pools/local_pool.ml: Array Engine Sync

@@ -1,0 +1,53 @@
+(** A sequentially-accessed local pool: a bounded ring buffer protected
+    by an MCS queue lock, in FIFO (queue) or LIFO (stack) discipline.
+    One sits on every output wire of an elimination tree (§2.1); the
+    LIFO variant provides the local stacks of §3; RSU piles and
+    work-stealing deques reuse it.
+
+    The [raw_*] operations assume the caller already holds the pool's
+    lock (see {!Make.with_two_locks}); everything else synchronizes
+    internally. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  val create :
+    ?discipline:[ `Fifo | `Lifo ] ->
+    ?size:int ->
+    lock_capacity:int ->
+    unit ->
+    'v t
+  (** [size] bounds buffered elements (default 4096; overflow raises
+      [Failure]); [lock_capacity] bounds processor ids using the
+      pool. *)
+
+  val capacity : 'v t -> int
+
+  val size : 'v t -> int
+  (** Racy snapshot; exact when quiescent. *)
+
+  val enqueue : 'v t -> 'v -> unit
+
+  val try_dequeue : 'v t -> 'v option
+
+  val steal_oldest : 'v t -> 'v option
+  (** Remove the oldest element regardless of discipline (the thief's
+      end in work-stealing schedulers). *)
+
+  val dequeue_blocking :
+    ?poll:int -> ?stop:(unit -> bool) -> 'v t -> 'v option
+  (** Wait (polling every [poll] cycles under the fair lock) until an
+      element arrives or [stop] fires. *)
+
+  (** {2 Raw operations — caller holds the lock} *)
+
+  val raw_size : 'v t -> int
+  val raw_push : 'v t -> 'v -> unit
+  val raw_pop : 'v t -> 'v option
+  val raw_steal_oldest : 'v t -> 'v option
+
+  val with_two_locks : 'v t -> 'v t -> (unit -> 'a) -> 'a
+  (** Acquire both pools' locks in a global order (deadlock-free), run
+      the function, release.  Raises [Invalid_argument] on the same
+      pool twice. *)
+end

@@ -1,0 +1,6 @@
+(** Sequential local pools used as building blocks: lock-protected
+    bounded FIFO/LIFO buffers placed at tree leaves (elimination-tree
+    pools, §2.1), used as local stacks (stack-like pools, §3) and as
+    the per-processor work piles of the RSU baseline. *)
+
+module Local_pool = Local_pool

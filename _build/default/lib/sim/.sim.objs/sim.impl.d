@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Engine Engine_impl Event_heap Memory Scheduler

@@ -1,0 +1,1 @@
+lib/sim/engine_impl.ml: Array Effect Engine Memory Scheduler

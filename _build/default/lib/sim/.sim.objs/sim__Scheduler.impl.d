@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Array Effect Engine Event_heap Fun Memory

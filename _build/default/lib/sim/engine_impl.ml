@@ -1,0 +1,99 @@
+(* The simulator's implementation of [Engine.S].
+
+   Every primitive maps to one scheduler effect, charged according to the
+   run's {!Memory.config}.  All of these must be called from inside a
+   processor body passed to [Sim.run]; calling them elsewhere raises. *)
+
+type 'a cell = 'a Memory.cell
+
+let cell = Memory.cell
+
+let get c =
+  let t = Scheduler.the_sched () in
+  t.op_reads <- t.op_reads + 1;
+  if t.config.reads_serialize then
+    Effect.perform
+      (Scheduler.Serialized
+         {
+           loc = c.Memory.loc;
+           latency = t.config.read_latency;
+           run = (fun () -> c.Memory.v);
+         })
+  else
+    Effect.perform
+      (Scheduler.Immediate
+         { latency = t.config.read_latency; run = (fun () -> c.Memory.v) })
+
+let set c x =
+  let t = Scheduler.the_sched () in
+  t.op_writes <- t.op_writes + 1;
+  Effect.perform
+    (Scheduler.Serialized
+       {
+         loc = c.Memory.loc;
+         latency = t.config.write_latency;
+         run = (fun () -> c.Memory.v <- x);
+       })
+
+let exchange c x =
+  let t = Scheduler.the_sched () in
+  t.op_rmws <- t.op_rmws + 1;
+  Effect.perform
+    (Scheduler.Serialized
+       {
+         loc = c.Memory.loc;
+         latency = t.config.rmw_latency;
+         run =
+           (fun () ->
+             let old = c.Memory.v in
+             c.Memory.v <- x;
+             old);
+       })
+
+let compare_and_set c expected desired =
+  let t = Scheduler.the_sched () in
+  t.op_rmws <- t.op_rmws + 1;
+  Effect.perform
+    (Scheduler.Serialized
+       {
+         loc = c.Memory.loc;
+         latency = t.config.rmw_latency;
+         run =
+           (fun () ->
+             if c.Memory.v == expected then begin
+               c.Memory.v <- desired;
+               true
+             end
+             else false);
+       })
+
+let fetch_and_add c k =
+  let t = Scheduler.the_sched () in
+  t.op_rmws <- t.op_rmws + 1;
+  Effect.perform
+    (Scheduler.Serialized
+       {
+         loc = c.Memory.loc;
+         latency = t.config.rmw_latency;
+         run =
+           (fun () ->
+             let old = c.Memory.v in
+             c.Memory.v <- old + k;
+             old);
+       })
+
+let pid () = (Scheduler.the_sched ()).current
+let nprocs () = (Scheduler.the_sched ()).nprocs
+
+let delay n = if n > 0 then Effect.perform (Scheduler.Delay n)
+let cpu_relax () = Effect.perform (Scheduler.Delay 1)
+
+let random_int n =
+  let t = Scheduler.the_sched () in
+  Engine.Splitmix.int t.rngs.(t.current) n
+
+let random_bernoulli ~num ~den =
+  let t = Scheduler.the_sched () in
+  Engine.Splitmix.bernoulli t.rngs.(t.current) ~num ~den
+
+let now () = (Scheduler.the_sched ()).clock

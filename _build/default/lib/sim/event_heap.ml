@@ -1,0 +1,82 @@
+(* A binary min-heap of timestamped events.
+
+   Keys are [(time, seq)] pairs compared lexicographically: [seq] is a
+   strictly increasing insertion counter, so events scheduled for the
+   same simulated instant fire in insertion order.  That tie-break makes
+   whole simulations deterministic functions of the seed. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = { mutable a : 'a entry array; mutable n : int }
+
+let create () = { a = [||]; n = 0 }
+
+let length t = t.n
+
+let is_empty t = t.n = 0
+
+let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+let grow t entry =
+  let cap = Array.length t.a in
+  if t.n = cap then begin
+    let cap' = if cap = 0 then 64 else cap * 2 in
+    let a' = Array.make cap' entry in
+    Array.blit t.a 0 a' 0 t.n;
+    t.a <- a'
+  end
+
+let push t ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  grow t entry;
+  t.a.(t.n) <- entry;
+  t.n <- t.n + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt t.a.(i) t.a.(parent) then begin
+        let tmp = t.a.(i) in
+        t.a.(i) <- t.a.(parent);
+        t.a.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.n - 1)
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = t.a.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.a.(0) <- t.a.(t.n);
+      (* Sift down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.n && lt t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.n && lt t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = t.a.(i) in
+          t.a.(i) <- t.a.(!smallest);
+          t.a.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.seq, top.payload)
+  end
+
+(* Drain remaining events in key order (used when aborting a run). *)
+let drain t f =
+  let rec loop () =
+    match pop t with
+    | None -> ()
+    | Some (time, seq, payload) ->
+        f time seq payload;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,22 @@
+(** A binary min-heap of timestamped events, keyed by [(time, seq)]
+    compared lexicographically.  [seq] is a strictly increasing
+    insertion counter, so same-instant events fire in insertion order —
+    this tie-break is what makes whole simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** Insert an event. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the least [(time, seq, payload)]. *)
+
+val drain : 'a t -> (int -> int -> 'a -> unit) -> unit
+(** [drain t f] pops every remaining event in key order, applying [f];
+    events pushed by [f] itself are drained too. *)

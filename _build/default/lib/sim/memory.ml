@@ -1,0 +1,44 @@
+(* Simulated shared memory with per-location contention.
+
+   Every location carries a [busy_until] timestamp.  Writes and
+   read-modify-writes issued at time [t] are serviced starting at
+   [max t busy_until] and advance [busy_until] by their latency, so [k]
+   simultaneous RMWs on one location cost Theta(k * latency) — the
+   hot-spot queueing at a directory home node that the paper's toggle
+   bits suffer from and its prisms avoid.
+
+   Reads are charged a fixed latency but do not serialize: they model
+   cached / read-shared lines, which is the standard assumption behind
+   local-spinning locks such as MCS.  The algorithms in this repository
+   only spin on locations they own or on such cached reads. *)
+
+type loc = { mutable busy_until : int }
+
+type 'a cell = { mutable v : 'a; loc : loc }
+
+type config = {
+  read_latency : int;  (** cycles for an atomic read *)
+  write_latency : int; (** cycles for an atomic write (serializing) *)
+  rmw_latency : int;   (** cycles for swap / CAS / fetch&add (serializing) *)
+  reads_serialize : bool;
+      (** if true, reads also queue on the location (no read sharing) *)
+}
+
+let default_config =
+  { read_latency = 6; write_latency = 8; rmw_latency = 12;
+    reads_serialize = false }
+
+(* Model-sensitivity variant: reads queue like writes, as on a machine
+   with no caching of shared lines.  Used by the `model` benchmark to
+   show the reported shapes do not hinge on the read-sharing
+   assumption. *)
+let serialized_reads_config = { default_config with reads_serialize = true }
+
+(* A near-zero-cost configuration: every operation takes one cycle
+   (writes/RMWs still serialize per location).  Used by tests that care
+   about ordering and algorithmic correctness rather than timing. *)
+let uniform_config =
+  { read_latency = 1; write_latency = 1; rmw_latency = 1;
+    reads_serialize = false }
+
+let cell v = { v; loc = { busy_until = 0 } }

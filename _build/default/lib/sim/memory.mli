@@ -1,0 +1,38 @@
+(** Simulated shared memory with per-location contention.
+
+    Writes and read-modify-writes issued at time [t] are serviced
+    starting at [max t busy_until] of their location and advance it by
+    their latency — so k simultaneous RMWs on one location cost
+    Θ(k·latency), the hot-spot queueing the paper's constructions are
+    designed around.  Reads are charged a fixed latency but do not
+    serialize (they model cached / read-shared lines, the assumption
+    behind local-spinning locks). *)
+
+type loc = { mutable busy_until : int }
+(** Serialization state of one location. *)
+
+type 'a cell = { mutable v : 'a; loc : loc }
+(** A shared location.  Mutated only by the scheduler, at event-fire
+    time. *)
+
+type config = {
+  read_latency : int;  (** cycles for an atomic read *)
+  write_latency : int; (** cycles for an atomic write (serializing) *)
+  rmw_latency : int;   (** cycles for swap / CAS / fetch&add (serializing) *)
+  reads_serialize : bool;
+      (** if true, reads also queue on the location (no read sharing) *)
+}
+
+val default_config : config
+(** 6 / 8 / 12 cycles — the Alewife-like defaults of DESIGN.md §6. *)
+
+val uniform_config : config
+(** Every operation one cycle, still serialized per location: for tests
+    that care about ordering rather than timing. *)
+
+val serialized_reads_config : config
+(** The defaults but with reads queueing like writes — a machine with
+    no read sharing of hot lines (model-sensitivity ablation). *)
+
+val cell : 'a -> 'a cell
+(** Allocate a fresh location (free of simulated cost). *)

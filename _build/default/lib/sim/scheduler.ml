@@ -1,0 +1,195 @@
+(* The discrete-event scheduler at the heart of the simulator.
+
+   Each simulated processor is an OCaml 5 effect-handler coroutine.  A
+   processor runs its OCaml code instantaneously (local computation is
+   charged explicitly through [Delay]) until it performs a shared-memory
+   effect; the handler then computes the operation's completion time —
+   including any queueing behind earlier operations on the same location
+   — and parks the continuation in the event heap.  The main loop pops
+   events in (time, insertion) order, so the whole machine is a
+   deterministic function of the seed.
+
+   An operation's side effect ([run]) executes when its event fires, not
+   when it is issued: operations therefore linearize in completion-time
+   order, and per-location serialization (see {!Memory}) guarantees that
+   two operations on one location never reorder. *)
+
+exception Aborted
+(* Raised inside a simulated processor when the run hits [abort_after]. *)
+
+type _ Effect.t +=
+  | Serialized : {
+      loc : Memory.loc;
+      latency : int;
+      run : unit -> 'r;
+    }
+      -> 'r Effect.t
+        (* A write or read-modify-write: queues behind [loc.busy_until]. *)
+  | Immediate : { latency : int; run : unit -> 'r } -> 'r Effect.t
+        (* A read: fixed latency, no serialization. *)
+  | Delay : int -> unit Effect.t  (* local computation / spin-waiting *)
+
+type event = { fire : unit -> unit; abort : unit -> unit }
+
+type t = {
+  nprocs : int;
+  config : Memory.config;
+  heap : event Event_heap.t;
+  rngs : Engine.Splitmix.t array;
+  mutable clock : int;
+  mutable seq : int;
+  mutable live : int;
+  mutable current : int;
+  mutable events_fired : int;
+  mutable aborted : int;
+  mutable op_reads : int;  (* engine-level operation counters *)
+  mutable op_writes : int;
+  mutable op_rmws : int;
+}
+
+type stats = {
+  end_clock : int;
+  events_fired : int;
+  aborted_procs : int;
+  reads : int;
+  writes : int;
+  rmws : int;
+}
+
+(* The running scheduler.  The simulator is strictly single-threaded (one
+   OS thread multiplexes all simulated processors), so a plain ref is
+   safe; it is saved and restored across nested runs. *)
+let active : t option ref = ref None
+
+let the_sched () =
+  match !active with
+  | Some t -> t
+  | None ->
+      failwith
+        "Sim: a simulated-engine operation was performed outside Sim.run"
+
+let schedule t time ev =
+  Event_heap.push t.heap ~time ~seq:t.seq ev;
+  t.seq <- t.seq + 1
+
+let start t p body =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          match e with
+          | Aborted -> t.aborted <- t.aborted + 1
+          | e -> raise e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Delay n ->
+              Some
+                (fun (k : (b, _) continuation) ->
+                  let n = if n < 1 then 1 else n in
+                  schedule t (t.clock + n)
+                    {
+                      fire =
+                        (fun () ->
+                          t.current <- p;
+                          continue k ());
+                      abort = (fun () -> discontinue k Aborted);
+                    })
+          | Immediate { latency; run } ->
+              Some
+                (fun (k : (b, _) continuation) ->
+                  schedule t (t.clock + latency)
+                    {
+                      fire =
+                        (fun () ->
+                          t.current <- p;
+                          continue k (run ()));
+                      abort = (fun () -> discontinue k Aborted);
+                    })
+          | Serialized { loc; latency; run } ->
+              Some
+                (fun (k : (b, _) continuation) ->
+                  let begins =
+                    if loc.Memory.busy_until > t.clock then
+                      loc.Memory.busy_until
+                    else t.clock
+                  in
+                  let finish = begins + latency in
+                  loc.Memory.busy_until <- finish;
+                  schedule t finish
+                    {
+                      fire =
+                        (fun () ->
+                          t.current <- p;
+                          continue k (run ()));
+                      abort = (fun () -> discontinue k Aborted);
+                    })
+          | _ -> None);
+    }
+  in
+  t.current <- p;
+  match_with body p handler
+
+(* Run [procs] simulated processors, each executing [body pid], until
+   every processor terminates or the clock passes [abort_after] (at which
+   point the remaining processors are unwound with {!Aborted}). *)
+let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
+    ~procs body =
+  if procs <= 0 then invalid_arg "Sim.run: procs must be positive";
+  let base = Engine.Splitmix.of_int seed in
+  let t =
+    {
+      nprocs = procs;
+      config;
+      heap = Event_heap.create ();
+      rngs = Array.init procs (fun i -> Engine.Splitmix.split base ~index:i);
+      clock = 0;
+      seq = 0;
+      live = procs;
+      current = 0;
+      events_fired = 0;
+      aborted = 0;
+      op_reads = 0;
+      op_writes = 0;
+      op_rmws = 0;
+    }
+  in
+  let prev = !active in
+  active := Some t;
+  Fun.protect ~finally:(fun () -> active := prev) @@ fun () ->
+  for p = 0 to procs - 1 do
+    schedule t 0
+      {
+        fire = (fun () -> start t p body);
+        abort = (fun () -> t.live <- t.live - 1);
+      }
+  done;
+  let horizon = match abort_after with Some h -> h | None -> max_int in
+  let rec loop () =
+    match Event_heap.pop t.heap with
+    | None -> ()
+    | Some (time, _seq, ev) ->
+        if time > horizon then begin
+          ev.abort ();
+          Event_heap.drain t.heap (fun _ _ ev -> ev.abort ())
+        end
+        else begin
+          t.clock <- time;
+          t.events_fired <- t.events_fired + 1;
+          ev.fire ();
+          loop ()
+        end
+  in
+  loop ();
+  assert (t.live = 0);
+  {
+    end_clock = t.clock;
+    events_fired = t.events_fired;
+    aborted_procs = t.aborted;
+    reads = t.op_reads;
+    writes = t.op_writes;
+    rmws = t.op_rmws;
+  }

@@ -1,0 +1,66 @@
+(** The discrete-event scheduler at the heart of the simulator.
+
+    Each simulated processor is an effect-handler coroutine; a
+    shared-memory effect parks its continuation in the event heap at
+    its completion time (queueing behind earlier operations on the same
+    location, see {!Memory}), and the main loop fires events in
+    (time, insertion) order — making runs deterministic functions of
+    the seed.  An operation's side effect runs when its event fires, so
+    operations linearize in completion-time order.
+
+    This module is the simulator's engine room; user code should go
+    through [Sim.run] and [Sim.Engine]. *)
+
+exception Aborted
+(** Raised inside a simulated processor cut off by [abort_after]. *)
+
+type _ Effect.t +=
+  | Serialized : {
+      loc : Memory.loc;
+      latency : int;
+      run : unit -> 'r;
+    }
+      -> 'r Effect.t
+        (** a write or RMW: queues behind [loc.busy_until] *)
+  | Immediate : { latency : int; run : unit -> 'r } -> 'r Effect.t
+        (** a read: fixed latency, no serialization *)
+  | Delay : int -> unit Effect.t  (** local computation / spin-waiting *)
+
+type event = { fire : unit -> unit; abort : unit -> unit }
+
+type t = {
+  nprocs : int;
+  config : Memory.config;
+  heap : event Event_heap.t;
+  rngs : Engine.Splitmix.t array;
+  mutable clock : int;
+  mutable seq : int;
+  mutable live : int;
+  mutable current : int; (** pid of the processor now executing *)
+  mutable events_fired : int;
+  mutable aborted : int;
+  mutable op_reads : int;  (** engine-level operation counters *)
+  mutable op_writes : int;
+  mutable op_rmws : int;
+}
+
+type stats = {
+  end_clock : int;
+  events_fired : int;
+  aborted_procs : int;
+  reads : int;   (** atomic reads issued *)
+  writes : int;  (** atomic writes issued *)
+  rmws : int;    (** swaps / CASes / fetch&adds issued *)
+}
+
+val the_sched : unit -> t
+(** The running scheduler; raises [Failure] outside a run. *)
+
+val run :
+  ?seed:int ->
+  ?config:Memory.config ->
+  ?abort_after:int ->
+  procs:int ->
+  (int -> unit) ->
+  stats
+(** See [Sim.run]. *)

@@ -1,0 +1,50 @@
+(** A deterministic discrete-event shared-memory multiprocessor simulator.
+
+    This is the repository's stand-in for the Proteus simulator running a
+    256-node Alewife-like machine, on which the paper's experiments were
+    performed.  Like Proteus, it is not cycle-accurate hardware
+    simulation: local computation is charged to the local clock in bulk,
+    and only globally visible operations are ordered by timestamps.
+    Contention is modeled by serializing writes and read-modify-writes
+    per memory location (see {!Memory}), which reproduces the hot-spot
+    behaviour the paper's constructions are designed around.
+
+    Usage:
+    {[
+      let stats =
+        Sim.run ~procs:256 ~seed:1 (fun pid ->
+            (* runs as simulated processor [pid]; use Sim.Engine ops *)
+            ...)
+    ]}
+
+    Processor bodies use {!Engine}, the simulator's implementation of
+    [Engine.S]; data structures functorized over [Engine.S] are
+    instantiated with it to run under simulation. *)
+
+module Memory = Memory
+module Event_heap = Event_heap
+module Scheduler = Scheduler
+
+module Engine : Engine.S with type 'a cell = 'a Memory.cell = Engine_impl
+(** The simulated shared-memory engine.  Its operations may only be
+    called from inside a processor body passed to {!run}. *)
+
+type stats = Scheduler.stats = {
+  end_clock : int;       (** simulated cycle at which the run ended *)
+  events_fired : int;    (** total discrete events processed *)
+  aborted_procs : int;   (** processors cut off by [abort_after] *)
+  reads : int;           (** atomic reads issued *)
+  writes : int;          (** atomic writes issued *)
+  rmws : int;            (** swaps / CASes / fetch&adds issued *)
+}
+
+exception Aborted = Scheduler.Aborted
+
+let run = Scheduler.run
+(** [run ?seed ?config ?abort_after ~procs body] simulates [procs]
+    processors each executing [body pid] from cycle 0, and returns
+    aggregate statistics.  The simulation is a deterministic function of
+    [seed] and [config].  If [abort_after] is given, processors still
+    running past that cycle are unwound with {!Aborted} (their effects
+    already applied to shared memory remain applied; in-flight operations
+    are dropped). *)

@@ -1,0 +1,1 @@
+lib/sync/sync.ml: Anderson_lock Backoff Combining_tree Counter Mcs_counter Mcs_lock Naive_counter Tas_lock

@@ -1,0 +1,1 @@
+lib/sync/anderson_lock.mli: Engine

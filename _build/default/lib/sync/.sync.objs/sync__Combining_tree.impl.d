@@ -1,0 +1,1 @@
+lib/sync/combining_tree.ml: Array Counter Engine Tas_lock

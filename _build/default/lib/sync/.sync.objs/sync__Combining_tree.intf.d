@@ -1,0 +1,1 @@
+lib/sync/combining_tree.mli: Counter Engine

@@ -1,0 +1,1 @@
+lib/sync/mcs_counter.ml: Counter Engine Mcs_lock

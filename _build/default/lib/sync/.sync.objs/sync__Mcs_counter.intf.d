@@ -1,0 +1,1 @@
+lib/sync/mcs_counter.mli: Counter Engine

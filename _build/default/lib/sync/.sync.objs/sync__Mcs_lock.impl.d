@@ -1,0 +1,1 @@
+lib/sync/mcs_lock.ml: Array Engine

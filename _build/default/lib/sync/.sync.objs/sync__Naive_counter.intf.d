@@ -1,0 +1,1 @@
+lib/sync/naive_counter.mli: Counter Engine

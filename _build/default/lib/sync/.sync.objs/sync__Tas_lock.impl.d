@@ -1,0 +1,1 @@
+lib/sync/tas_lock.ml: Backoff Engine

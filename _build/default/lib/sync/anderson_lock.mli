@@ -1,0 +1,15 @@
+(** Anderson's array-based queue lock [2]: a fetch&add ticket indexes a
+    circular array of flags, each waiter spinning on its own slot.
+    FIFO like MCS; the array must cover the maximum number of
+    concurrent waiters. *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] bounds concurrent waiters (default [E.nprocs ()]). *)
+
+  val acquire : t -> unit
+  val release : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+end

@@ -1,0 +1,20 @@
+(* Randomized exponential backoff, engine-parametric.
+
+   Used by the test-and-set lock and by retry loops in the pools.  The
+   delay is drawn uniformly from [1, cur] and [cur] doubles up to [max],
+   the classic contention-decoupling scheme. *)
+
+module Make (E : Engine.S) = struct
+  type t = { mutable cur : int; max : int }
+
+  let create ?(init = 2) ?(max = 256) () =
+    if init < 1 || max < init then invalid_arg "Backoff.create";
+    { cur = init; max }
+
+  let reset ?(init = 2) t = t.cur <- init
+
+  let once t =
+    E.delay (1 + E.random_int t.cur);
+    let doubled = t.cur * 2 in
+    t.cur <- (if doubled > t.max then t.max else doubled)
+end

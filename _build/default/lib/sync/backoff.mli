@@ -1,0 +1,15 @@
+(** Randomized exponential backoff: delays drawn uniformly from
+    [[1, cur]] with [cur] doubling up to a cap. *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : ?init:int -> ?max:int -> unit -> t
+  (** Defaults: [init = 2], [max = 256].  Raises [Invalid_argument] if
+      [init < 1] or [max < init]. *)
+
+  val reset : ?init:int -> t -> unit
+
+  val once : t -> unit
+  (** Wait once, then double the window. *)
+end

@@ -1,0 +1,183 @@
+(* A software combining tree for fetch&increment — the paper's "Ctree-n"
+   method, following the protocol of Goodman, Vernon & Woest [10] as
+   modified in [11]; the concrete state machine is the classic five-state
+   formulation (IDLE / FIRST / SECOND / RESULT / ROOT) of that protocol.
+
+   Processors climb from a private leaf (two processors share each leaf)
+   toward the root.  The first processor to reach a node continues and
+   carries the node's combined total; the second deposits its request at
+   the node and waits for the first to bring the answer back down.  With
+   n processors the optimal width is n/2 leaves, giving 2 log n node
+   visits per operation (up and down) — logarithmic latency, and
+   combining absorbs contention under load.
+
+   Each node is a little monitor: a test-and-set lock plus condition
+   re-check loops (the original protocol's wait/notify, realized by
+   release-delay-reacquire polling, which is how spin monitors are built
+   on machines without blocking primitives). *)
+
+module Make (E : Engine.S) = struct
+  module Lock = Tas_lock.Make (E)
+
+  type status = Idle | First | Second | Result | Root
+
+  type node = {
+    monitor : Lock.t;
+    status : status E.cell;
+    locked : bool E.cell;
+    first_value : int E.cell;
+    second_value : int E.cell;
+    result : int E.cell;
+    parent : int; (* index in [nodes]; -1 for the root *)
+  }
+
+  type t = {
+    nodes : node array; (* heap layout: root at 0 *)
+    width : int;        (* number of leaves (power of two) *)
+  }
+
+  let is_power_of_two w = w > 0 && w land (w - 1) = 0
+
+  let create ?(initial = 0) ~width () =
+    if not (is_power_of_two width) then
+      invalid_arg "Combining_tree.create: width must be a power of two";
+    let n = (2 * width) - 1 in
+    let nodes =
+      Array.init n (fun i ->
+          {
+            monitor = Lock.create ();
+            status = E.cell (if i = 0 then Root else Idle);
+            locked = E.cell false;
+            first_value = E.cell 0;
+            second_value = E.cell 0;
+            result = E.cell (if i = 0 then initial else 0);
+            parent = (if i = 0 then -1 else (i - 1) / 2);
+          })
+    in
+    { nodes; width }
+
+  (* Monitor-style wait: poll [cond] under the node's lock, releasing it
+     between checks so the partner can make progress. *)
+  let wait_until node cond =
+    let rec poll () =
+      if cond () then ()
+      else begin
+        Lock.release node.monitor;
+        E.delay 4;
+        Lock.acquire node.monitor;
+        poll ()
+      end
+    in
+    poll ()
+
+  (* Phase 1 helper: returns true if the caller is first at [node] and
+     should keep climbing. *)
+  let precombine node =
+    Lock.acquire node.monitor;
+    (* With the optimal width (two processors per leaf) a node is never
+       seen in SECOND/RESULT here; with narrower trees a late third
+       arrival must also wait out the current pair. *)
+    wait_until node (fun () ->
+        (not (E.get node.locked))
+        &&
+        match E.get node.status with
+        | Idle | First | Root -> true
+        | Second | Result -> false);
+    let continue_up =
+      match E.get node.status with
+      | Idle ->
+          E.set node.status First;
+          true
+      | First ->
+          (* We are the second to arrive: lock the node so the first
+             cannot combine past us before we deposit our value. *)
+          E.set node.locked true;
+          E.set node.status Second;
+          false
+      | Root -> false
+      | Second | Result -> assert false
+    in
+    Lock.release node.monitor;
+    continue_up
+
+  (* Phase 2 helper: fold our accumulated [combined] into [node]. *)
+  let combine node combined =
+    Lock.acquire node.monitor;
+    wait_until node (fun () -> not (E.get node.locked));
+    E.set node.locked true;
+    E.set node.first_value combined;
+    let total =
+      match E.get node.status with
+      | First -> combined
+      | Second -> combined + E.get node.second_value
+      | Idle | Result | Root -> assert false
+    in
+    Lock.release node.monitor;
+    total
+
+  (* Phase 3: apply the combined increment at the stop node. *)
+  let op node combined =
+    Lock.acquire node.monitor;
+    let prior =
+      match E.get node.status with
+      | Root ->
+          let prior = E.get node.result in
+          E.set node.result (prior + combined);
+          prior
+      | Second ->
+          E.set node.second_value combined;
+          (* Unleash the first processor's combine at this node. *)
+          E.set node.locked false;
+          wait_until node (fun () -> E.get node.status = Result);
+          E.set node.locked false;
+          E.set node.status Idle;
+          E.get node.result
+      | Idle | First | Result -> assert false
+    in
+    Lock.release node.monitor;
+    prior
+
+  (* Phase 4: walk back down handing out results. *)
+  let distribute node prior =
+    Lock.acquire node.monitor;
+    (match E.get node.status with
+    | First ->
+        E.set node.status Idle;
+        E.set node.locked false
+    | Second ->
+        E.set node.result (prior + E.get node.first_value);
+        E.set node.status Result
+    | Idle | Result | Root -> assert false);
+    Lock.release node.monitor
+
+  let leaf_of t pid = t.nodes.((t.width - 1) + (pid / 2) mod t.width)
+
+  let fetch_and_inc t =
+    let my_leaf = leaf_of t (E.pid ()) in
+    (* Precombining phase: claim FIRST slots upward until we are second
+       somewhere (or hit the root). *)
+    let rec climb node =
+      if precombine node then climb t.nodes.(node.parent) else node
+    in
+    let stop = climb my_leaf in
+    (* Combining phase: gather increments along the same path. *)
+    let rec gather node combined visited =
+      if node == stop then (combined, visited)
+      else
+        let combined = combine node combined in
+        gather t.nodes.(node.parent) combined (node :: visited)
+    in
+    let combined, visited = gather my_leaf 1 [] in
+    let prior = op stop combined in
+    (* Distribution phase: most recently combined node first. *)
+    let rec scatter prior = function
+      | [] -> ()
+      | node :: rest ->
+          distribute node prior;
+          scatter prior rest
+    in
+    scatter prior visited;
+    prior
+
+  let as_counter t : Counter.t = { fetch_and_inc = (fun () -> fetch_and_inc t) }
+end

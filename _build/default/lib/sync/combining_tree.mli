@@ -1,0 +1,20 @@
+(** A software combining tree for fetch&increment — the paper's
+    "Ctree-n" method, after Goodman, Vernon & Woest [10] as modified in
+    [11].  Processors climb from a private leaf; the second arrival at
+    a node deposits its request for the first to carry upward, giving
+    2·log n node visits per operation and contention absorption under
+    load.  Optimal width is n/2 leaves for n processors (two per
+    leaf). *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : ?initial:int -> width:int -> unit -> t
+  (** [width] is the number of leaves; must be a power of two.  More
+      than two processors per leaf is tolerated (late arrivals wait out
+      the current pair). *)
+
+  val fetch_and_inc : t -> int
+
+  val as_counter : t -> Counter.t
+end

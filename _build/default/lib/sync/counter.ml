@@ -1,0 +1,10 @@
+(* A shared fetch&increment counter, as a first-class value.
+
+   The paper's Figure-5 pool is parameterized by the counter used for
+   its head and tail pointers ("MCS", "Ctree-n", "Dtree-32"); passing
+   counters as values lets every counting method plug into every
+   benchmark without a functor per combination. *)
+
+type t = { fetch_and_inc : unit -> int }
+
+let fetch_and_inc t = t.fetch_and_inc ()

@@ -1,0 +1,9 @@
+(** A shared fetch&increment counter as a first-class value, so every
+    counting method (MCS, combining tree, diffracting tree, bitonic
+    network) plugs into every benchmark — in particular into the
+    Figure-5 centralized pool, whose head/tail counters define the
+    paper's "MCS" / "Ctree-n" / "Dtree" produce-consume methods. *)
+
+type t = { fetch_and_inc : unit -> int }
+
+val fetch_and_inc : t -> int

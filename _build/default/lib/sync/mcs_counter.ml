@@ -1,0 +1,23 @@
+(* The paper's "MCS" counting method: a single shared counter protected
+   by an MCS queue lock.  Response time is linear in the number of
+   concurrent requests (every increment is serialized through the lock),
+   but constant and small when access is sparse — which is exactly the
+   regime where it wins in Figures 7-10. *)
+
+module Make (E : Engine.S) = struct
+  module Lock = Mcs_lock.Make (E)
+
+  type t = { lock : Lock.t; value : int E.cell }
+
+  let create ?(initial = 0) ?capacity () =
+    { lock = Lock.create ?capacity (); value = E.cell initial }
+
+  let fetch_and_inc t =
+    Lock.acquire t.lock;
+    let v = E.get t.value in
+    E.set t.value (v + 1);
+    Lock.release t.lock;
+    v
+
+  let as_counter t : Counter.t = { fetch_and_inc = (fun () -> fetch_and_inc t) }
+end

@@ -1,0 +1,14 @@
+(** The paper's "MCS" counting method: one shared counter protected by
+    an MCS queue lock.  Constant and small cost when sparse, linear in
+    the number of concurrent requests under load. *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : ?initial:int -> ?capacity:int -> unit -> t
+  (** [capacity] sizes the underlying MCS lock (see {!Mcs_lock}). *)
+
+  val fetch_and_inc : t -> int
+
+  val as_counter : t -> Counter.t
+end

@@ -1,0 +1,25 @@
+(** The Mellor-Crummey & Scott queue lock [15]: FIFO-fair, local
+    spinning.  The lock the paper uses for balancer toggle bits and
+    leaf pools (its fairness underpins Theorem 2.2's bounded-time
+    guarantee). *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [create ~capacity ()] makes a lock usable by processors with ids
+      in [[0, capacity)].  [capacity] defaults to [E.nprocs ()], which
+      under the simulator is only available inside a run — pass it
+      explicitly when building structures up front. *)
+
+  val acquire : t -> unit
+  (** Enqueue on the lock and spin locally until granted.  Not
+      reentrant. *)
+
+  val release : t -> unit
+  (** Hand the lock to the next waiter, if any. *)
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** [with_lock t f] runs [f] under the lock, releasing on return or
+      exception. *)
+end

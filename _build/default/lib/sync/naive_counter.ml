@@ -1,0 +1,14 @@
+(* A bare hardware fetch&add on one location.
+
+   Not one of the paper's methods (Alewife had no combining fetch&add);
+   included as an ablation showing the hot-spot ceiling: all requests
+   serialize at one location, so throughput saturates at
+   1 / rmw_latency regardless of processor count. *)
+
+module Make (E : Engine.S) = struct
+  type t = int E.cell
+
+  let create ?(initial = 0) () : t = E.cell initial
+  let fetch_and_inc t = E.fetch_and_add t 1
+  let as_counter t : Counter.t = { fetch_and_inc = (fun () -> fetch_and_inc t) }
+end

@@ -1,0 +1,12 @@
+(** A bare hardware fetch&add on one location — not one of the paper's
+    methods (Alewife had no combining fetch&add), included as the
+    hot-spot ablation: throughput saturates at [1 / rmw_latency]
+    regardless of processor count. *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val fetch_and_inc : t -> int
+  val as_counter : t -> Counter.t
+end

@@ -1,0 +1,27 @@
+(** Synchronization substrate: locks and shared counters.
+
+    Everything here is a functor over {!Engine.S} so it runs both
+    natively (OCaml 5 atomics/domains) and under the simulator.
+
+    - {!Mcs_lock} — the MCS queue lock [Mellor-Crummey & Scott 1991],
+      FIFO-fair with local spinning; the lock the paper uses for toggle
+      bits and leaf pools.
+    - {!Tas_lock} — test-and-test-and-set with exponential backoff.
+    - {!Backoff} — randomized exponential backoff.
+    - {!Counter} — a fetch&increment counter as a first-class value.
+    - {!Mcs_counter} — the paper's "MCS" counting method (locked cell).
+    - {!Combining_tree} — the paper's "Ctree-n" method [Goodman et al.].
+    - {!Naive_counter} — raw fetch&add on one location (hot-spot
+      ablation, not one of the paper's methods). *)
+
+module Backoff = Backoff
+module Mcs_lock = Mcs_lock
+module Tas_lock = Tas_lock
+
+(** Anderson's array queue lock [2] (cited baseline; FIFO like MCS). *)
+module Anderson_lock = Anderson_lock
+
+module Counter = Counter
+module Mcs_counter = Mcs_counter
+module Naive_counter = Naive_counter
+module Combining_tree = Combining_tree

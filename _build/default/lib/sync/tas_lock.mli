@@ -1,0 +1,19 @@
+(** A test-and-test-and-set lock with randomized exponential backoff.
+    Cheap under low contention and unfair under high contention; used
+    as the per-node monitor lock of the combining tree and as a
+    contrast baseline in the lock tests. *)
+
+module Make (E : Engine.S) : sig
+  type t
+
+  val create : unit -> t
+
+  val acquire : t -> unit
+
+  val try_acquire : t -> bool
+  (** One attempt; true on success. *)
+
+  val release : t -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+end

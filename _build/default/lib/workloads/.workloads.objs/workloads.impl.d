@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Counting Lifo_fidelity Load_sweep Methods Pool_obj Produce_consume Queens Report Response_time Table1

@@ -1,0 +1,1 @@
+lib/workloads/counting.ml: List Pool_obj Printf Sim

@@ -1,0 +1,1 @@
+lib/workloads/lifo_fidelity.ml: Hashtbl List Pool_obj Sim

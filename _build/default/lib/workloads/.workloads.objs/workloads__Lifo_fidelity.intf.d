@@ -1,0 +1,1 @@
+lib/workloads/lifo_fidelity.mli: Pool_obj

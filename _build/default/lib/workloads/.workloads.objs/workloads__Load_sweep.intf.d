@@ -1,0 +1,1 @@
+lib/workloads/load_sweep.mli:

@@ -1,0 +1,1 @@
+lib/workloads/methods.ml: Baselines Core Extras List Pool_obj Printf Sim Sync

@@ -1,0 +1,1 @@
+lib/workloads/methods.mli: Baselines Core Extras Pool_obj Sim Sync

@@ -1,0 +1,1 @@
+lib/workloads/pool_obj.mli: Core Sync

@@ -1,0 +1,1 @@
+lib/workloads/produce_consume.ml: List Pool_obj Printf Sim

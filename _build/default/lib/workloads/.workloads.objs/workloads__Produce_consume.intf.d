@@ -1,0 +1,1 @@
+lib/workloads/produce_consume.mli: Pool_obj Sim

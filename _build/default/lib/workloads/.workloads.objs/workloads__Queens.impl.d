@@ -1,0 +1,1 @@
+lib/workloads/queens.ml: List Pool_obj Printf Sim

@@ -1,0 +1,1 @@
+lib/workloads/queens.mli: Pool_obj

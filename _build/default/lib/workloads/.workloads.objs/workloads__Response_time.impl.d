@@ -1,0 +1,1 @@
+lib/workloads/response_time.ml: Array List Pool_obj Printf Sim

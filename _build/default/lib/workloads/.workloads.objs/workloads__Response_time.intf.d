@@ -1,0 +1,1 @@
+lib/workloads/response_time.mli: Pool_obj

@@ -1,0 +1,19 @@
+(** The counting benchmark of §2.5.2 (Figure 9): fetch&increment in a
+    loop until the horizon; elimination never fires, isolating the
+    diffraction machinery. *)
+
+type point = { procs : int; throughput_per_m : int; ops : int }
+
+val run :
+  ?seed:int ->
+  ?horizon:int ->
+  procs:int ->
+  (procs:int -> Pool_obj.counter) ->
+  point
+
+val sweep :
+  ?seed:int ->
+  ?horizon:int ->
+  proc_counts:int list ->
+  (procs:int -> Pool_obj.counter) ->
+  point list

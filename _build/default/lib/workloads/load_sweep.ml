@@ -1,0 +1,53 @@
+(* Elimination rate and latency versus offered load — the paper's core
+   thesis ("superior response (on average constant) under high loads
+   ... providing improved response time as the load on them increases")
+   made directly visible: sweep the produce-consume think time at fixed
+   processor count and report latency together with the root balancer's
+   elimination fraction. *)
+
+module E = Sim.Engine
+module Epool = Core.Elim_pool.Make (E)
+
+type point = {
+  workload : int;
+  latency : float;            (* cycles per operation *)
+  root_elimination : float;   (* fraction eliminated at the root *)
+  leaf_fraction : float;      (* requests reaching a leaf pool *)
+}
+
+let run ?(seed = 1) ?(horizon = 150_000) ?(width = 32) ~procs ~workload () =
+  let pool = Epool.create ~capacity:procs ~width ~leaf_size:8192 () in
+  let ops = ref 0 and latency_total = ref 0 in
+  let stats =
+    Sim.run ~seed ~procs ~abort_after:((horizon * 4) + 2_000_000) (fun p ->
+        let i = ref 0 in
+        while E.now () < horizon do
+          let t0 = E.now () in
+          Epool.enqueue pool ((p * 1_000_000) + !i);
+          incr i;
+          (match Epool.dequeue pool with
+          | Some _ -> ()
+          | None -> assert false);
+          let t1 = E.now () in
+          if t1 <= horizon then begin
+            ops := !ops + 2;
+            latency_total := !latency_total + (t1 - t0)
+          end;
+          if workload > 0 then E.delay (E.random_int (workload + 1))
+        done)
+  in
+  if stats.aborted_procs > 0 then failwith "load_sweep: stuck processors";
+  let root =
+    match Epool.stats_by_level pool with s :: _ -> s | [] -> assert false
+  in
+  {
+    workload;
+    latency =
+      (if !ops = 0 then 0.0
+       else float_of_int !latency_total /. float_of_int (!ops / 2));
+    root_elimination = Core.Elim_stats.elimination_fraction root;
+    leaf_fraction = Epool.leaf_access_fraction pool;
+  }
+
+let sweep ?seed ?horizon ?width ~procs ~workloads () =
+  List.map (fun workload -> run ?seed ?horizon ?width ~procs ~workload ()) workloads

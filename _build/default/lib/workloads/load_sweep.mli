@@ -1,0 +1,28 @@
+(** Elimination rate and latency versus offered load at fixed
+    concurrency: the "busier it gets, the faster it gets" thesis as a
+    single sweep of the produce-consume think time. *)
+
+type point = {
+  workload : int;
+  latency : float;           (** cycles per enqueue+dequeue pair *)
+  root_elimination : float;  (** fraction eliminated at the root *)
+  leaf_fraction : float;     (** requests reaching a leaf pool *)
+}
+
+val run :
+  ?seed:int ->
+  ?horizon:int ->
+  ?width:int ->
+  procs:int ->
+  workload:int ->
+  unit ->
+  point
+
+val sweep :
+  ?seed:int ->
+  ?horizon:int ->
+  ?width:int ->
+  procs:int ->
+  workloads:int list ->
+  unit ->
+  point list

@@ -1,0 +1,256 @@
+(* Constructors for every method compared in the paper's evaluation,
+   instantiated on the simulator engine with the paper's parameters. *)
+
+module E = Sim.Engine
+module Epool = Core.Elim_pool.Make (E)
+module Estack = Core.Elim_stack.Make (E)
+module Mcs_counter = Sync.Mcs_counter.Make (E)
+module Naive_counter = Sync.Naive_counter.Make (E)
+module Ctree = Sync.Combining_tree.Make (E)
+module Dtree = Baselines.Diff_tree.Make (E)
+module Central = Baselines.Central_pool.Make (E)
+module Rsu = Baselines.Rsu.Make (E)
+module Treiber = Extras.Treiber_stack.Make (E)
+module Eb_stack = Extras.Eb_stack.Make (E)
+module Bitonic = Baselines.Bitonic_network.Make (E)
+module Ws = Baselines.Work_stealing.Make (E)
+
+let pow2_ceil n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* "Optimal width means that when n processors participate, a tree of
+   width n/2 will be used" (§2.5.1). *)
+let ctree_width ~procs = pow2_ceil (max 1 (procs / 2))
+
+(* ------------------------------------------------------------------ *)
+(* Pools for the produce-consume / queens / response benchmarks         *)
+(* ------------------------------------------------------------------ *)
+
+(* Etree-<width>: the elimination-tree pool (the paper's contribution). *)
+let etree_pool ?(width = 32) ~procs () =
+  let p = Epool.create ~capacity:procs ~width ~leaf_size:8192 () in
+  Pool_obj.pool
+    ~name:(Printf.sprintf "Etree-%d" width)
+    ~enqueue:(fun v -> Epool.enqueue p v)
+    ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
+    ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ()
+
+(* Estack-<width>: the stack-like pool (§3), for LIFO scheduling. *)
+let estack_pool ?(width = 32) ~procs () =
+  let s = Estack.create ~capacity:procs ~width ~leaf_size:8192 () in
+  Pool_obj.pool
+    ~name:(Printf.sprintf "Estack-%d" width)
+    ~enqueue:(fun v -> Estack.push s v)
+    ~dequeue:(fun ~stop -> Estack.pop ~stop s)
+    ~stats_by_level:(fun () -> Estack.stats_by_level s)
+    ()
+
+(* The Figure-5 centralized pool over a pair of counters. *)
+let central_pool ~name ~procs mk_counter =
+  ignore procs;
+  let pool =
+    Central.create ~size:16384 ~head:(mk_counter ()) ~tail:(mk_counter ()) ()
+  in
+  Pool_obj.pool ~name
+    ~enqueue:(fun v -> Central.enqueue pool v)
+    ~dequeue:(fun ~stop -> Central.dequeue ~stop pool)
+    ()
+
+(* MCS: centralized pool, counters = MCS-locked cells. *)
+let mcs_pool ~procs () =
+  central_pool ~name:"MCS" ~procs (fun () ->
+      Mcs_counter.as_counter (Mcs_counter.create ~capacity:procs ()))
+
+(* Ctree-n: centralized pool, counters = combining trees of width n/2.
+   [tree_procs] defaults to the participating processors; Figure 10 uses
+   a fixed Ctree-256. *)
+let ctree_pool ?tree_procs ~procs () =
+  let name =
+    match tree_procs with
+    | Some n -> Printf.sprintf "Ctree-%d" n
+    | None -> "Ctree-n" (* sized to the participating processors *)
+  in
+  let tree_procs = match tree_procs with Some n -> n | None -> procs in
+  let width = ctree_width ~procs:tree_procs in
+  central_pool ~name ~procs (fun () ->
+      Ctree.as_counter (Ctree.create ~width ()))
+
+(* Dtree-32: centralized pool, counters = diffracting trees. *)
+let dtree_pool ?(width = 32) ~procs () =
+  central_pool
+    ~name:(Printf.sprintf "Dtree-%d" width)
+    ~procs
+    (fun () -> Dtree.as_counter (Dtree.create ~capacity:procs ~width ()))
+
+(* RSU: randomized load-balanced local piles.  The paper's simulated
+   machine always has 256 processors, so RSU always owns [machine]
+   piles even when only [procs] of them participate — which is what
+   produces its Theta(n) sparse-access behaviour (Fig. 10 right). *)
+let rsu_pool ?(machine = 256) ~procs () =
+  let t = Rsu.create ~procs:(max machine procs) () in
+  Pool_obj.pool ~name:"RSU"
+    ~enqueue:(fun v -> Rsu.enqueue t v)
+    ~dequeue:(fun ~stop -> Rsu.dequeue ~stop t)
+    ()
+
+(* ---- ablation variants (not in the paper; see EXPERIMENTS.md) ---- *)
+
+(* The elimination tree with eliminating collisions disabled: tokens
+   and anti-tokens still diffract and toggle, so this isolates how much
+   of the high-load win is elimination itself. *)
+let etree_pool_no_elim ?(width = 32) ~procs () =
+  let p =
+    Epool.create ~eliminate:false ~capacity:procs ~width ~leaf_size:8192 ()
+  in
+  Pool_obj.pool
+    ~name:(Printf.sprintf "Etree-%d/noelim" width)
+    ~enqueue:(fun v -> Epool.enqueue p v)
+    ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
+    ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ()
+
+(* The elimination tree on the original single-prism schedule of [24]:
+   isolates the multi-layered-prism contribution. *)
+let etree_pool_single_prism ?(width = 32) ~procs () =
+  let p =
+    Epool.create
+      ~config:(Core.Tree_config.dtree width)
+      ~capacity:procs ~width ~leaf_size:8192 ()
+  in
+  Pool_obj.pool
+    ~name:(Printf.sprintf "Etree-%d/1prism" width)
+    ~enqueue:(fun v -> Epool.enqueue p v)
+    ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
+    ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ()
+
+(* The elimination-backoff stack (Hendler-Shavit-Yerushalmi 2004): the
+   paper's idea as it became standard — elimination as a backoff path
+   of a centralized Treiber stack. *)
+let eb_stack_pool ~procs () =
+  ignore procs;
+  let s = Eb_stack.create () in
+  Pool_obj.pool ~name:"EB-stack"
+    ~enqueue:(fun v -> Eb_stack.push s v)
+    ~dequeue:(fun ~stop -> Eb_stack.pop ~stop s)
+    ()
+
+(* A plain Treiber stack: the centralized hot spot itself. *)
+let treiber_pool ~procs () =
+  ignore procs;
+  let s = Treiber.create () in
+  Pool_obj.pool ~name:"Treiber"
+    ~enqueue:(fun v -> Treiber.push s v)
+    ~dequeue:(fun ~stop -> Treiber.pop ~stop s)
+    ()
+
+(* Width sensitivity: the paper picked width 32 "based on empirical
+   testing"; this sweep reproduces that choice. *)
+let width_methods : (procs:int -> int Pool_obj.pool) list =
+  List.map
+    (fun width ~procs -> etree_pool ~width ~procs ())
+    [ 8; 16; 32; 64 ]
+
+let ablation_methods : (procs:int -> int Pool_obj.pool) list =
+  [
+    (fun ~procs -> etree_pool ~procs ());
+    (fun ~procs -> etree_pool_no_elim ~procs ());
+    (fun ~procs -> etree_pool_single_prism ~procs ());
+    (fun ~procs -> eb_stack_pool ~procs ());
+    (fun ~procs -> treiber_pool ~procs ());
+    (fun ~procs -> mcs_pool ~procs ());
+  ]
+
+(* The method sets of the figures. *)
+let produce_consume_methods : (procs:int -> int Pool_obj.pool) list =
+  [
+    (fun ~procs -> etree_pool ~procs ());
+    (fun ~procs -> mcs_pool ~procs ());
+    (fun ~procs -> ctree_pool ~procs ());
+    (fun ~procs -> dtree_pool ~procs ());
+  ]
+
+let distribution_methods : (procs:int -> int Pool_obj.pool) list =
+  [
+    (fun ~procs -> etree_pool ~procs ());
+    (fun ~procs -> mcs_pool ~procs ());
+    (fun ~procs -> ctree_pool ~tree_procs:256 ~procs ());
+    (fun ~procs -> rsu_pool ~procs ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Counters for the counting benchmark (Fig. 9)                        *)
+(* ------------------------------------------------------------------ *)
+
+let counting_methods : (procs:int -> Pool_obj.counter) list =
+  [
+    (fun ~procs ->
+      Pool_obj.counter ~name:"Dtree-32+MulPri"
+        (Dtree.as_counter
+           (Dtree.create ~prisms:`Multi_prism ~capacity:procs ~width:32 ())));
+    (fun ~procs ->
+      Pool_obj.counter ~name:"MCS"
+        (Mcs_counter.as_counter (Mcs_counter.create ~capacity:procs ())));
+    (fun ~procs ->
+      Pool_obj.counter ~name:"Ctree-n"
+        (Ctree.as_counter (Ctree.create ~width:(ctree_width ~procs) ())));
+    (fun ~procs ->
+      Pool_obj.counter ~name:"Dtree-32"
+        (Dtree.as_counter
+           (Dtree.create ~prisms:`Single_prism ~capacity:procs ~width:32 ())));
+    (fun ~procs ->
+      Pool_obj.counter ~name:"Dtree-64"
+        (Dtree.as_counter
+           (Dtree.create ~prisms:`Single_prism ~capacity:procs ~width:64 ())));
+  ]
+
+(* Extra ablation (not in the paper): raw fetch&add on one location. *)
+let naive_counter ~procs:_ =
+  Pool_obj.counter ~name:"Faa-1loc"
+    (Naive_counter.as_counter (Naive_counter.create ()))
+
+(* Extra baselines (cited [4]): the AHS counting networks. *)
+let bitonic_counter ?(kind = `Bitonic) ?(width = 32) ~procs () =
+  ignore procs;
+  let prefix =
+    match kind with `Bitonic -> "Bitonic" | `Periodic -> "Periodic"
+  in
+  Pool_obj.counter
+    ~name:(Printf.sprintf "%s-%d" prefix width)
+    (Bitonic.as_counter (Bitonic.create ~kind ~width ()))
+
+(* Extra baseline (cited [7]): work-stealing deques, machine-sized like
+   RSU. *)
+let ws_pool ?(machine = 256) ~procs () =
+  let t = Ws.create ~procs:(max machine procs) () in
+  Pool_obj.pool ~name:"WorkSteal"
+    ~enqueue:(fun v -> Ws.enqueue t v)
+    ~dequeue:(fun ~stop -> Ws.dequeue ~stop t)
+    ()
+
+(* Extended job-distribution comparison: the paper's RSU and Etree plus
+   our extra work-stealing baseline and the LIFO stack-like pool. *)
+let distribution_extra_methods : (procs:int -> int Pool_obj.pool) list =
+  [
+    (fun ~procs -> estack_pool ~procs ());
+    (fun ~procs -> rsu_pool ~procs ());
+    (fun ~procs -> ws_pool ~procs ());
+  ]
+
+(* Extended counting comparison: the counting-network lineage. *)
+let counting_extra_methods : (procs:int -> Pool_obj.counter) list =
+  [
+    (fun ~procs -> bitonic_counter ~procs ());
+    (fun ~procs -> bitonic_counter ~kind:`Periodic ~procs ());
+    (fun ~procs ->
+      Pool_obj.counter ~name:"Dtree-32"
+        (Dtree.as_counter
+           (Dtree.create ~prisms:`Single_prism ~capacity:procs ~width:32 ())));
+    (fun ~procs ->
+      Pool_obj.counter ~name:"Dtree-32+MulPri"
+        (Dtree.as_counter
+           (Dtree.create ~prisms:`Multi_prism ~capacity:procs ~width:32 ())));
+    naive_counter;
+  ]

@@ -1,0 +1,18 @@
+(* First-class pool and counter objects over the simulator engine, so
+   every method of the paper plugs into every benchmark. *)
+
+type 'v pool = {
+  name : string;
+  enqueue : 'v -> unit;
+  dequeue : stop:(unit -> bool) -> 'v option;
+  (* Diagnostic hooks; None for methods without an elimination tree. *)
+  stats_by_level : (unit -> Core.Elim_stats.t list) option;
+}
+
+type counter = { cname : string; fetch_and_inc : unit -> int }
+
+let pool ?stats_by_level ~name ~enqueue ~dequeue () =
+  { name; enqueue; dequeue; stats_by_level }
+
+let counter ~name (c : Sync.Counter.t) =
+  { cname = name; fetch_and_inc = c.Sync.Counter.fetch_and_inc }

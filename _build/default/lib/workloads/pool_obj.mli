@@ -1,0 +1,22 @@
+(** First-class pool and counter objects over the simulator engine, so
+    every method of the paper plugs into every benchmark. *)
+
+type 'v pool = {
+  name : string;
+  enqueue : 'v -> unit;
+  dequeue : stop:(unit -> bool) -> 'v option;
+  stats_by_level : (unit -> Core.Elim_stats.t list) option;
+      (** diagnostic hook; [None] for methods without a tree *)
+}
+
+type counter = { cname : string; fetch_and_inc : unit -> int }
+
+val pool :
+  ?stats_by_level:(unit -> Core.Elim_stats.t list) ->
+  name:string ->
+  enqueue:('v -> unit) ->
+  dequeue:(stop:(unit -> bool) -> 'v option) ->
+  unit ->
+  'v pool
+
+val counter : name:string -> Sync.Counter.t -> counter

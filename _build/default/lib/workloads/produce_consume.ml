@@ -1,0 +1,70 @@
+(* The produce-consume benchmark of §2.5.1 (Figures 7 and 8).
+
+   Each processor alternately enqueues a fresh element, dequeues one,
+   and waits a uniform random number of cycles in [0, workload]; the run
+   lasts [horizon] simulated cycles.  Reported: throughput (operations
+   completed, normalized to operations per 10^6 cycles) and latency
+   (average cycles per produce/consume operation). *)
+
+module E = Sim.Engine
+
+type point = {
+  procs : int;
+  throughput_per_m : int; (* produce+consume ops per 10^6 cycles *)
+  latency : float;        (* average cycles per operation *)
+  ops : int;              (* raw operations completed in the window *)
+}
+
+let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
+    (make : procs:int -> int Pool_obj.pool) =
+  let pool = make ~procs in
+  let ops = ref 0 in
+  let latency_total = ref 0 in
+  let record t0 =
+    let t1 = E.now () in
+    if t1 <= horizon then begin
+      incr ops;
+      latency_total := !latency_total + (t1 - t0)
+    end
+  in
+  let stats =
+    Sim.run ~seed ?config ~procs ~abort_after:((horizon * 4) + 2_000_000)
+      (fun p ->
+        let i = ref 0 in
+        while E.now () < horizon do
+          (* produce *)
+          let t0 = E.now () in
+          pool.Pool_obj.enqueue ((p * 1_000_000) + !i);
+          incr i;
+          record t0;
+          (* consume: always succeeds eventually because every processor
+             enqueues before it dequeues (P2). *)
+          let t0 = E.now () in
+          (match pool.Pool_obj.dequeue ~stop:(fun () -> false) with
+          | Some _ -> ()
+          | None -> assert false);
+          record t0;
+          if workload > 0 then E.delay (E.random_int (workload + 1))
+        done)
+  in
+  if stats.aborted_procs > 0 then
+    failwith
+      (Printf.sprintf "produce-consume: %d processors stuck (method %s)"
+         stats.aborted_procs pool.Pool_obj.name);
+  let latency =
+    if !ops = 0 then 0.0
+    else float_of_int !latency_total /. float_of_int !ops
+  in
+  {
+    procs;
+    throughput_per_m =
+      int_of_float (float_of_int !ops *. 1e6 /. float_of_int horizon);
+    latency;
+    ops = !ops;
+  }
+
+(* Sweep processor counts for one method. *)
+let sweep ?seed ?horizon ?config ~workload ~proc_counts make =
+  List.map
+    (fun procs -> run ?seed ?horizon ?config ~workload ~procs make)
+    proc_counts

@@ -1,0 +1,30 @@
+(** The produce-consume benchmark of §2.5.1 (Figures 7 and 8): each
+    processor alternately enqueues, dequeues, and thinks U[0, workload]
+    cycles, for [horizon] simulated cycles. *)
+
+type point = {
+  procs : int;
+  throughput_per_m : int; (** produce+consume ops per 10^6 cycles *)
+  latency : float;        (** average cycles per operation *)
+  ops : int;              (** raw operations completed in the window *)
+}
+
+val run :
+  ?seed:int ->
+  ?horizon:int ->
+  ?config:Sim.Memory.config ->
+  workload:int ->
+  procs:int ->
+  (procs:int -> int Pool_obj.pool) ->
+  point
+(** Raises [Failure] if any processor failed to terminate (which would
+    indicate a broken pool, cf. P1/P2). *)
+
+val sweep :
+  ?seed:int ->
+  ?horizon:int ->
+  ?config:Sim.Memory.config ->
+  workload:int ->
+  proc_counts:int list ->
+  (procs:int -> int Pool_obj.pool) ->
+  point list

@@ -1,0 +1,44 @@
+(* Plain-text table formatting for the benchmark harness: one column of
+   processor counts, one column per method. *)
+
+let hrule widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let fit w s =
+  let n = String.length s in
+  if n >= w then s else String.make (w - n) ' ' ^ s
+
+(* [table ~title ~row_label labels rows] where each row is
+   (label, cell list); cells are preformatted strings. *)
+let table ~title ~row_label ~columns rows =
+  let col_width =
+    List.fold_left (fun acc c -> max acc (String.length c)) 10 columns
+  in
+  let label_width =
+    List.fold_left
+      (fun acc (l, _) -> max acc (String.length l))
+      (String.length row_label)
+      rows
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  let widths = label_width :: List.map (fun _ -> col_width) columns in
+  Buffer.add_string buf
+    (String.concat " | "
+       (fit label_width row_label :: List.map (fit col_width) columns));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (hrule widths);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string buf
+        (String.concat " | "
+           (fit label_width label :: List.map (fit col_width) cells));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let float1 x = Printf.sprintf "%.1f" x
+let float2 x = Printf.sprintf "%.2f" x
+let percent x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let int_ x = string_of_int x

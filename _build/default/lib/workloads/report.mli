@@ -1,0 +1,15 @@
+(** Plain-text table formatting for the benchmark harness. *)
+
+val table :
+  title:string ->
+  row_label:string ->
+  columns:string list ->
+  (string * string list) list ->
+  string
+(** [table ~title ~row_label ~columns rows] renders right-aligned
+    columns; each row is (label, preformatted cells). *)
+
+val float1 : float -> string
+val float2 : float -> string
+val percent : float -> string
+val int_ : int -> string

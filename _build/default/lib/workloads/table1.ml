@@ -1,0 +1,43 @@
+(* Table 1: fraction of tokens eliminated per tree level, measured on
+   the produce-consume benchmark (workload 0) with the Etree-32 pool,
+   at 16 and 256 processors; plus §2.5.1's derived numbers (expected
+   balancers traversed and fraction of requests reaching leaf pools). *)
+
+module E = Sim.Engine
+module Epool = Core.Elim_pool.Make (E)
+
+type level_row = { level : int; fraction : float }
+
+type result = {
+  procs : int;
+  rows : level_row list;
+  expected_nodes : float;   (* balancers (+ leaf) visited per request *)
+  leaf_fraction : float;    (* requests that reached a leaf pool *)
+}
+
+let run ?(seed = 1) ?(horizon = 200_000) ?(width = 32) ~procs () =
+  let pool = Epool.create ~capacity:procs ~width ~leaf_size:8192 () in
+  let stats =
+    Sim.run ~seed ~procs ~abort_after:((horizon * 4) + 2_000_000) (fun p ->
+        let i = ref 0 in
+        while E.now () < horizon do
+          Epool.enqueue pool ((p * 1_000_000) + !i);
+          incr i;
+          (match Epool.dequeue pool with
+          | Some _ -> ()
+          | None -> assert false)
+        done)
+  in
+  if stats.aborted_procs > 0 then failwith "table1: stuck processors";
+  let rows =
+    List.mapi
+      (fun level s ->
+        { level; fraction = Core.Elim_stats.elimination_fraction s })
+      (Epool.stats_by_level pool)
+  in
+  {
+    procs;
+    rows;
+    expected_nodes = Epool.expected_nodes_traversed pool;
+    leaf_fraction = Epool.leaf_access_fraction pool;
+  }

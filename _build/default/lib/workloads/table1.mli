@@ -1,0 +1,15 @@
+(** Table 1 instrumentation: per-level elimination fractions of the
+    Etree-32 pool on the produce-consume benchmark, plus §2.5.1's
+    derived expected-depth numbers. *)
+
+type level_row = { level : int; fraction : float }
+
+type result = {
+  procs : int;
+  rows : level_row list;      (** root first *)
+  expected_nodes : float;     (** balancers (+ leaf) visited per request *)
+  leaf_fraction : float;      (** requests that reached a leaf pool *)
+}
+
+val run :
+  ?seed:int -> ?horizon:int -> ?width:int -> procs:int -> unit -> result

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Fun List Option Pools Printf QCheck QCheck_alcotest Sim Sync

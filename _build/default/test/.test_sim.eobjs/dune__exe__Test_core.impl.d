@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Fun Hashtbl List Printf QCheck QCheck_alcotest Random Sim

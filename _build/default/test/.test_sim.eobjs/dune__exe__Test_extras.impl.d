@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Domain Engine Extras Fun List Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Atomic Domain Engine Fun List Native Option

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Sim Sync

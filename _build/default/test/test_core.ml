@@ -1,0 +1,902 @@
+(* Tests for elimination balancers, trees, pools and stacks: the
+   paper's correctness properties checked over deterministic simulated
+   schedules. *)
+
+module E = Sim.Engine
+module Balancer = Core.Elim_balancer.Make (E)
+module Tree = Core.Elim_tree.Make (E)
+module Pool = Core.Elim_pool.Make (E)
+module Stack = Core.Elim_stack.Make (E)
+module Idc = Core.Inc_dec_counter.Make (E)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Every simulated test gets a generous cut-off so a bug cannot hang the
+   suite; a correct run never reaches it. *)
+let run ?seed ~procs body =
+  let stats = Sim.run ?seed ~procs ~abort_after:100_000_000 body in
+  check_int "no simulated processor was cut off" 0 stats.aborted_procs;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Single balancer                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_balancer ?(mode = `Pool) ?(eliminate = true) ~capacity () =
+  let location = Balancer.make_location ~capacity in
+  Balancer.create ~mode ~eliminate ~id:0 ~prism_widths:[ 4; 2 ] ~spin:8
+    ~location ()
+
+let test_balancer_sequential_tokens () =
+  (* A lone token never collides; successive tokens alternate wires
+     starting at 0. *)
+  let b = mk_balancer ~capacity:1 () in
+  let wires = ref [] in
+  let _ =
+    run ~procs:1 (fun _ ->
+        for _ = 1 to 4 do
+          match Balancer.traverse b ~kind:Token ~value:(Some ()) with
+          | Core.Location.Exit w -> wires := w :: !wires
+          | Core.Location.Eliminated _ -> Alcotest.fail "sequential elimination"
+        done)
+  in
+  Alcotest.(check (list int)) "toggle alternation" [ 0; 1; 0; 1 ]
+    (List.rev !wires)
+
+let test_balancer_pool_anti_separate_toggle () =
+  (* Pool mode: anti-tokens have their own toggle, so the first anti
+     goes to wire 0 even after a token toggled the token bit. *)
+  let b = mk_balancer ~mode:`Pool ~capacity:1 () in
+  let out = ref [] in
+  let _ =
+    run ~procs:1 (fun _ ->
+        let record kind =
+          match Balancer.traverse b ~kind ~value:None with
+          | Core.Location.Exit w -> out := w :: !out
+          | Core.Location.Eliminated _ -> Alcotest.fail "elimination"
+        in
+        record Token;
+        record Anti;
+        record Anti)
+  in
+  Alcotest.(check (list int)) "anti toggle independent" [ 0; 0; 1 ]
+    (List.rev !out)
+
+let test_balancer_stack_anti_follows_token () =
+  (* Stack mode: one bit; a token leaves by the old value, an anti by
+     the new value, so token-then-anti always meet on the same wire. *)
+  let b = mk_balancer ~mode:`Stack ~capacity:1 () in
+  let out = ref [] in
+  let _ =
+    run ~procs:1 (fun _ ->
+        let record kind =
+          match Balancer.traverse b ~kind ~value:None with
+          | Core.Location.Exit w -> out := w :: !out
+          | Core.Location.Eliminated _ -> Alcotest.fail "elimination"
+        in
+        record Token; (* bit 0->1, exits 0 *)
+        record Anti;  (* bit 1->0, exits new = 0 *)
+        record Token; (* 0->1, exits 0 *)
+        record Token; (* 1->0, exits 1 *)
+        record Anti;  (* 0->1, exits 1 *)
+        record Anti   (* 1->0, exits 0 *))
+  in
+  Alcotest.(check (list int)) "anti retraces token" [ 0; 0; 0; 1; 1; 0 ]
+    (List.rev !out)
+
+(* Drive [tokens] and [antis] concurrent traversals of one balancer and
+   collect outcomes per kind. *)
+let drive_balancer ?seed ?(mode = `Pool) ~tokens ~antis () =
+  let procs = tokens + antis in
+  let b = mk_balancer ~mode ~capacity:procs () in
+  let outcomes = Array.make procs (`Pending) in
+  let _ =
+    run ?seed ~procs (fun p ->
+        let kind : Core.Location.kind = if p < tokens then Token else Anti in
+        let value = if kind = Token then Some p else None in
+        E.delay (E.random_int 40);
+        outcomes.(p) <-
+          (match Balancer.traverse b ~kind ~value with
+          | Core.Location.Exit w -> `Exit w
+          | Core.Location.Eliminated v -> `Eliminated v))
+  in
+  (b, outcomes)
+
+let count_outcomes outcomes ~kind_of =
+  (* returns (y0, y1, eliminated) per kind *)
+  let y = [| [| 0; 0 |]; [| 0; 0 |] |] and e = [| 0; 0 |] in
+  Array.iteri
+    (fun p o ->
+      let k = kind_of p in
+      match o with
+      | `Exit w -> y.(k).(w) <- y.(k).(w) + 1
+      | `Eliminated _ -> e.(k) <- e.(k) + 1
+      | `Pending -> Alcotest.fail "traversal did not complete")
+    outcomes;
+  (y, e)
+
+let test_balancer_quiescence_and_pairing () =
+  let tokens = 20 and antis = 14 in
+  let _, outcomes = drive_balancer ~tokens ~antis () in
+  let _, e = count_outcomes outcomes ~kind_of:(fun p -> if p < tokens then 0 else 1) in
+  check_int "eliminated tokens = eliminated antis" e.(0) e.(1)
+
+let test_balancer_pool_balancing_property () =
+  (* Thm 2.6: with x >= x-bar, each output wire carries at least as many
+     tokens as anti-tokens in the quiescent state. *)
+  List.iter
+    (fun seed ->
+      let tokens = 24 and antis = 16 in
+      let _, outcomes = drive_balancer ~seed ~tokens ~antis () in
+      let y, _ =
+        count_outcomes outcomes ~kind_of:(fun p -> if p < tokens then 0 else 1)
+      in
+      check_bool "y0 >= y0-bar" true (y.(0).(0) >= y.(1).(0));
+      check_bool "y1 >= y1-bar" true (y.(0).(1) >= y.(1).(1)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_balancer_elimination_exchanges_values () =
+  (* Every eliminated anti-token returns the value of a distinct token
+     (Lemma 2.8). *)
+  let tokens = 16 and antis = 16 in
+  let _, outcomes = drive_balancer ~tokens ~antis () in
+  let got = ref [] in
+  Array.iteri
+    (fun p o ->
+      if p >= tokens then
+        match o with
+        | `Eliminated (Some v) -> got := v :: !got
+        | `Eliminated None -> Alcotest.fail "anti eliminated without a value"
+        | _ -> ())
+    outcomes;
+  let sorted = List.sort_uniq compare !got in
+  check_int "values are distinct token payloads" (List.length !got)
+    (List.length sorted);
+  List.iter
+    (fun v -> check_bool "value came from a token" true (v >= 0 && v < tokens))
+    !got
+
+let test_balancer_eliminations_happen_under_load () =
+  let b, _ = drive_balancer ~tokens:32 ~antis:32 () in
+  check_bool "some eliminating collisions occurred" true
+    ((Balancer.stats b).Core.Elim_stats.eliminated > 0)
+
+let test_balancer_stats_conservation () =
+  (* Every traversal ends in exactly one of three ways, so in any
+     quiescent state: entries = eliminated + diffracted + toggled, and
+     the collision counts are even (they count individuals, two per
+     pair). *)
+  List.iter
+    (fun (tokens, antis, seed) ->
+      let b, _ = drive_balancer ~seed ~tokens ~antis () in
+      let s = Balancer.stats b in
+      check_int "conservation"
+        (Core.Elim_stats.entries s)
+        (s.Core.Elim_stats.eliminated + s.Core.Elim_stats.diffracted
+       + s.Core.Elim_stats.toggled);
+      check_int "eliminations pair up" 0 (s.Core.Elim_stats.eliminated mod 2);
+      check_int "diffractions pair up" 0 (s.Core.Elim_stats.diffracted mod 2))
+    [ (20, 20, 1); (31, 7, 2); (3, 40, 3); (1, 1, 4); (50, 50, 5) ]
+
+let test_balancer_no_elimination_when_disabled () =
+  let tokens = 16 and antis = 16 in
+  let procs = tokens + antis in
+  let b = mk_balancer ~eliminate:false ~capacity:procs () in
+  let _ =
+    run ~procs (fun p ->
+        let kind : Core.Location.kind = if p < tokens then Token else Anti in
+        match Balancer.traverse b ~kind ~value:None with
+        | Core.Location.Eliminated _ ->
+            Alcotest.fail "elimination disabled but occurred"
+        | Core.Location.Exit _ -> ())
+  in
+  check_int "stats agree" 0 (Balancer.stats b).Core.Elim_stats.eliminated
+
+(* ------------------------------------------------------------------ *)
+(* Trees: balance, step and gap-step properties                        *)
+(* ------------------------------------------------------------------ *)
+
+let drive_tree ?seed ?(mode = `Pool) ?(eliminate = true) ?(leaf_order = `Natural)
+    ~width ~tokens ~antis () =
+  let procs = max 1 (tokens + antis) in
+  let tree =
+    Tree.create ~mode ~eliminate ~leaf_order ~capacity:procs
+      (Core.Tree_config.etree width)
+  in
+  let y = Array.make width 0 and ybar = Array.make width 0 in
+  let elim_tokens = ref 0 and elim_antis = ref 0 in
+  let _ =
+    run ?seed ~procs (fun p ->
+        let kind : Core.Location.kind = if p < tokens then Token else Anti in
+        if p < tokens + antis then begin
+          E.delay (E.random_int 60);
+          match Tree.traverse tree ~kind ~value:None with
+          | Tree.Leaf i -> (
+              match kind with
+              | Token -> y.(i) <- y.(i) + 1
+              | Anti -> ybar.(i) <- ybar.(i) + 1)
+          | Tree.Eliminated _ -> (
+              match kind with
+              | Token -> incr elim_tokens
+              | Anti -> incr elim_antis)
+        end)
+  in
+  (tree, y, ybar, !elim_tokens, !elim_antis)
+
+let test_tree_level_flow_conservation () =
+  (* Tokens that are not eliminated at level d all enter level d+1:
+     entries(d+1) = entries(d) - eliminated(d). *)
+  let tree, _, _, _, _ = drive_tree ~seed:13 ~width:8 ~tokens:40 ~antis:40 () in
+  let levels = Tree.stats_by_level tree in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        check_int "level flow"
+          (Core.Elim_stats.entries a - a.Core.Elim_stats.eliminated)
+          (Core.Elim_stats.entries b);
+        walk rest
+    | _ -> ()
+  in
+  walk levels
+
+let test_tree_tokens_only_step_property () =
+  (* A stack-mode (counting) tree with tokens only must produce the step
+     property of counting trees: leaf i receives ceil((n - i) / w). *)
+  List.iter
+    (fun (width, n, seed) ->
+      let _, y, _, _, _ =
+        drive_tree ~seed ~mode:`Stack ~leaf_order:`Interleaved ~width ~tokens:n
+          ~antis:0 ()
+      in
+      Array.iteri
+        (fun i yi ->
+          let expected = (n - i + width - 1) / width in
+          check_int (Printf.sprintf "leaf %d (w=%d n=%d)" i width n) expected yi)
+        y)
+    [ (2, 9, 1); (4, 17, 2); (8, 40, 3); (8, 5, 4); (16, 33, 5) ]
+
+let test_tree_pool_balancing_at_leaves () =
+  (* Lemma 2.1: in quiescent states with x >= x-bar, every leaf has
+     y_i >= ybar_i. *)
+  List.iter
+    (fun seed ->
+      let _, y, ybar, et, ea =
+        drive_tree ~seed ~width:8 ~tokens:30 ~antis:22 ()
+      in
+      check_int "pairing" et ea;
+      Array.iteri
+        (fun i yi ->
+          check_bool
+            (Printf.sprintf "leaf %d: %d tokens >= %d antis" i yi ybar.(i))
+            true (yi >= ybar.(i)))
+        y)
+    [ 7; 8; 9; 10 ]
+
+let prop_gap_step_property =
+  (* Lemma 3.2: quiescent IncDecCounter[w] satisfies
+     0 <= (y_i - ybar_i) - (y_j - ybar_j) <= 1 for all i < j. *)
+  QCheck.Test.make ~name:"gap step property (stack tree)" ~count:40
+    QCheck.(triple (int_range 0 3) (int_range 0 40) (int_range 0 40))
+    (fun (wexp, tokens, antis) ->
+      let width = 1 lsl (wexp + 1) in
+      let _, y, ybar, _, _ =
+        drive_tree
+          ~seed:(tokens + (antis * 100) + wexp)
+          ~mode:`Stack ~leaf_order:`Interleaved ~width ~tokens ~antis ()
+      in
+      let ok = ref true in
+      for i = 0 to width - 1 do
+        for j = i + 1 to width - 1 do
+          let gap = y.(i) - ybar.(i) - (y.(j) - ybar.(j)) in
+          if gap < 0 || gap > 1 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_pool_balancing_random =
+  QCheck.Test.make ~name:"pool balancing at leaves (random loads)" ~count:40
+    QCheck.(triple (int_range 0 3) (int_range 0 40) (int_range 0 40))
+    (fun (wexp, a, b) ->
+      let tokens = max a b and antis = min a b in
+      let width = 1 lsl (wexp + 1) in
+      let _, y, ybar, et, ea =
+        drive_tree
+          ~seed:(a + (b * 97) + wexp)
+          ~width ~tokens ~antis ()
+      in
+      et = ea
+      && Array.for_all Fun.id (Array.mapi (fun i yi -> yi >= ybar.(i)) y))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the worked stack example                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure_1_example () =
+  (* Width-4 stack tree, sequential E0 E1 E2 D3; the paper's Figure 1
+     says the enqueues land on y0, y1, y2, D3 pops E2, then a further
+     token would land on y2 and a further anti-token on y1. *)
+  let tree =
+    Tree.create ~mode:`Stack ~leaf_order:`Interleaved ~capacity:1
+      (Core.Tree_config.etree 4)
+  in
+  let leaf kind =
+    match Tree.traverse tree ~kind ~value:None with
+    | Tree.Leaf i -> i
+    | Tree.Eliminated _ -> Alcotest.fail "sequential elimination"
+  in
+  let _ =
+    run ~procs:1 (fun _ ->
+        check_int "E0 -> y0" 0 (leaf Token);
+        check_int "E1 -> y1" 1 (leaf Token);
+        check_int "E2 -> y2" 2 (leaf Token);
+        check_int "D3 -> y2 (pops E2)" 2 (leaf Anti);
+        check_int "next token -> y2" 2 (leaf Token);
+        (* undo the probe token with a probe anti (pops it), then the
+           paper's claim: the next anti lands on y1. *)
+        check_int "probe anti -> y2" 2 (leaf Anti);
+        check_int "next anti -> y1" 1 (leaf Anti))
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Elimination pool: P1/P2 and conservation                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_sequential () =
+  let pool = Pool.create ~capacity:1 ~width:4 () in
+  let _ =
+    run ~procs:1 (fun _ ->
+        Pool.enqueue pool 1;
+        Pool.enqueue pool 2;
+        Pool.enqueue pool 3;
+        let take () =
+          match Pool.dequeue pool with
+          | Some v -> v
+          | None -> Alcotest.fail "dequeue failed on non-empty pool"
+        in
+        let got = List.sort compare [ take (); take (); take () ] in
+        Alcotest.(check (list int)) "all values dequeued" [ 1; 2; 3 ] got)
+  in
+  ()
+
+(* Each of [procs] processors enqueues [per_proc] unique values and
+   dequeues [per_proc] values; P2 says every dequeue succeeds, and
+   conservation says the dequeued multiset equals the enqueued one. *)
+let pool_conservation ?seed ~procs ~per_proc ~width () =
+  let pool = Pool.create ~capacity:procs ~width () in
+  let dequeued = Array.make (procs * per_proc) (-1) in
+  let slot = ref 0 in
+  let _ =
+    run ?seed ~procs (fun p ->
+        for i = 0 to per_proc - 1 do
+          Pool.enqueue pool ((p * per_proc) + i);
+          E.delay (E.random_int 30);
+          match Pool.dequeue pool with
+          | Some v ->
+              let s = !slot in
+              incr slot;
+              dequeued.(s) <- v
+          | None -> Alcotest.fail "P2 violated: dequeue failed"
+        done)
+  in
+  let residue = ref (-1) in
+  let _ = run ~procs:1 (fun _ -> residue := Pool.residue pool) in
+  check_int "pool drained" 0 !residue;
+  Array.to_list dequeued |> List.sort compare
+
+let test_pool_conservation () =
+  let got = pool_conservation ~procs:16 ~per_proc:6 ~width:8 () in
+  Alcotest.(check (list int))
+    "dequeued = enqueued" (List.init (16 * 6) Fun.id) got
+
+let test_pool_heavy_elimination_still_conserves () =
+  let pool = Pool.create ~capacity:64 ~width:4 () in
+  let got = ref [] in
+  let _ =
+    run ~procs:64 (fun p ->
+        if p land 1 = 0 then Pool.enqueue pool p
+        else
+          match Pool.dequeue pool with
+          | Some v -> got := v :: !got
+          | None -> Alcotest.fail "dequeue failed")
+  in
+  let got = List.sort compare !got in
+  let expected = List.init 32 (fun i -> 2 * i) in
+  Alcotest.(check (list int)) "32 producers matched 32 consumers" expected got
+
+let test_pool_residue_counts_surplus () =
+  (* Unbalanced load: residue equals enqueues minus dequeues once
+     quiescent. *)
+  let pool = Pool.create ~capacity:24 ~width:4 () in
+  let residue = ref (-1) in
+  let _ =
+    run ~procs:24 (fun p ->
+        if p < 16 then Pool.enqueue pool p
+        else ignore (Pool.dequeue pool))
+  in
+  let _ = run ~procs:1 (fun _ -> residue := Pool.residue pool) in
+  check_int "residue = 16 - 8" 8 !residue
+
+let test_pool_reusable_after_quiescence () =
+  (* A pool that went through a heavy concurrent phase keeps working
+     sequentially afterwards: all locks free, prisms harmless. *)
+  let pool = Pool.create ~capacity:32 ~width:4 () in
+  let _ =
+    run ~procs:32 (fun p ->
+        Pool.enqueue pool p;
+        ignore (Pool.dequeue pool))
+  in
+  let ok = ref false in
+  let _ =
+    run ~procs:1 (fun _ ->
+        Pool.enqueue pool 12345;
+        ok := Pool.dequeue pool = Some 12345)
+  in
+  check_bool "sequential reuse after heavy phase" true !ok
+
+let test_pool_dequeue_waits_for_enqueue () =
+  (* A dequeuer that arrives before any enqueue must wait and then
+     succeed (deterministic termination, the paper's headline property
+     vs. the randomized methods). *)
+  let pool = Pool.create ~capacity:2 ~width:2 () in
+  let got = ref None in
+  let _ =
+    run ~procs:2 (fun p ->
+        if p = 0 then got := Pool.dequeue pool
+        else begin
+          E.delay 5_000;
+          Pool.enqueue pool 99
+        end)
+  in
+  Alcotest.(check (option int)) "late enqueue satisfied dequeue" (Some 99) !got
+
+let test_pool_stop_drains () =
+  (* With more dequeuers than values, [stop] bounds the wait. *)
+  let pool = Pool.create ~capacity:4 ~width:2 () in
+  let stop_flag = ref false in
+  let successes = ref 0 and gave_up = ref 0 in
+  let _ =
+    run ~procs:4 (fun p ->
+        if p = 0 then begin
+          Pool.enqueue pool 7;
+          E.delay 2_000;
+          stop_flag := true
+        end
+        else
+          match Pool.dequeue ~stop:(fun () -> !stop_flag) pool with
+          | Some _ -> incr successes
+          | None -> incr gave_up)
+  in
+  check_int "one dequeue got the value" 1 !successes;
+  check_int "the others gave up at stop" 2 !gave_up
+
+let prop_pool_conservation_random =
+  QCheck.Test.make ~name:"pool conservation (random sizes/seeds)" ~count:15
+    QCheck.(triple (int_range 1 24) (int_range 1 4) (int_range 0 2))
+    (fun (procs, per_proc, wexp) ->
+      let width = 1 lsl (wexp + 1) in
+      let got =
+        pool_conservation ~seed:(procs + (per_proc * 31)) ~procs ~per_proc
+          ~width ()
+      in
+      got = List.init (procs * per_proc) Fun.id)
+
+let prop_pool_sequential_bag_model =
+  (* Sequential pool executions against a bag model: a dequeue must
+     return some not-yet-dequeued enqueued value (the pool imposes no
+     order), and never fail while the bag is non-empty. *)
+  QCheck.Test.make ~name:"pool matches sequential bag model" ~count:60
+    QCheck.(list (int_range 0 9))
+    (fun program ->
+      let pool = Pool.create ~capacity:1 ~width:4 () in
+      let bag = Hashtbl.create 16 in
+      let counter = ref 0 in
+      let ok = ref true in
+      let _ =
+        Sim.run ~procs:1 ~abort_after:50_000_000 (fun _ ->
+            List.iter
+              (fun cmd ->
+                if cmd = 0 then begin
+                  if Hashtbl.length bag > 0 then
+                    match Pool.dequeue pool with
+                    | Some v ->
+                        if Hashtbl.mem bag v then Hashtbl.remove bag v
+                        else ok := false
+                    | None -> ok := false
+                end
+                else begin
+                  incr counter;
+                  Hashtbl.replace bag !counter ();
+                  Pool.enqueue pool !counter
+                end)
+              program)
+      in
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Stack-like pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_stack_sequential_lifo () =
+  (* Thm 3.5: sequential executions are exactly LIFO. *)
+  let stack = Stack.create ~capacity:1 ~width:4 () in
+  let _ =
+    run ~procs:1 (fun _ ->
+        let pop () =
+          match Stack.pop stack with
+          | Some v -> v
+          | None -> Alcotest.fail "pop failed"
+        in
+        Stack.push stack 1;
+        Stack.push stack 2;
+        Stack.push stack 3;
+        check_int "pop 3" 3 (pop ());
+        Stack.push stack 4;
+        check_int "pop 4" 4 (pop ());
+        check_int "pop 2" 2 (pop ());
+        check_int "pop 1" 1 (pop ()))
+  in
+  ()
+
+let prop_stack_sequential_model =
+  (* Random sequential push/pop programs against a reference stack. *)
+  let gen = QCheck.(list (int_range 0 9)) in
+  QCheck.Test.make ~name:"stack-like pool is LIFO sequentially" ~count:60 gen
+    (fun program ->
+      (* value > 0: push that many times; 0: pop if non-empty *)
+      let stack = Stack.create ~capacity:1 ~width:4 () in
+      let model = ref [] in
+      let counter = ref 0 in
+      let ok = ref true in
+      let _ =
+        Sim.run ~procs:1 ~abort_after:50_000_000 (fun _ ->
+            List.iter
+              (fun cmd ->
+                if cmd = 0 then (
+                  match !model with
+                  | [] -> ()
+                  | top :: rest -> (
+                      match Stack.pop stack with
+                      | Some v ->
+                          if v <> top then ok := false;
+                          model := rest
+                      | None -> ok := false))
+                else begin
+                  incr counter;
+                  Stack.push stack !counter;
+                  model := !counter :: !model
+                end)
+              program)
+      in
+      !ok)
+
+let test_stack_concurrent_conservation () =
+  let stack = Stack.create ~capacity:32 ~width:4 () in
+  let got = ref [] in
+  let _ =
+    run ~procs:32 (fun p ->
+        if p < 16 then Stack.push stack p
+        else
+          match Stack.pop stack with
+          | Some v -> got := v :: !got
+          | None -> Alcotest.fail "pop failed")
+  in
+  Alcotest.(check (list int))
+    "popped multiset = pushed multiset" (List.init 16 Fun.id)
+    (List.sort compare !got)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized stress: mixed concurrent programs                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Each processor runs a random enqueue/dequeue program whose every
+   prefix has #enq >= #deq (so no processor can block forever waiting
+   on its own future enqueues).  Conservation must hold for the whole
+   run, across widths, processor counts and seeds. *)
+let stress_programs ~rng ~procs ~len =
+  List.init procs (fun _ ->
+      let credit = ref 0 in
+      List.init len (fun _ ->
+          if !credit > 0 && Random.State.bool rng then begin
+            decr credit;
+            `Dequeue
+          end
+          else begin
+            incr credit;
+            `Enqueue
+          end))
+
+let run_stress ~seed ~procs ~len ~put ~take =
+  let rng = Random.State.make [| seed |] in
+  let programs = Array.of_list (stress_programs ~rng ~procs ~len) in
+  let enqueued = ref [] and dequeued = ref [] in
+  let fresh = ref 0 in
+  let _ =
+    run ~seed ~procs (fun p ->
+        List.iter
+          (fun op ->
+            E.delay (E.random_int 25);
+            match op with
+            | `Enqueue ->
+                let v = !fresh in
+                incr fresh;
+                enqueued := v :: !enqueued;
+                put v
+            | `Dequeue -> (
+                match take () with
+                | Some v -> dequeued := v :: !dequeued
+                | None -> Alcotest.fail "stress dequeue failed"))
+          programs.(p))
+  in
+  (List.sort compare !enqueued, List.sort compare !dequeued)
+
+let test_pool_stress () =
+  List.iter
+    (fun (procs, width, seed) ->
+      let pool = Pool.create ~capacity:procs ~width () in
+      let enq, deq =
+        run_stress ~seed ~procs ~len:30
+          ~put:(fun v -> Pool.enqueue pool v)
+          ~take:(fun () -> Pool.dequeue pool)
+      in
+      check_bool "dequeued is a sub-multiset of enqueued" true
+        (List.for_all (fun v -> List.mem v enq) deq);
+      check_int "no duplicates"
+        (List.length deq)
+        (List.length (List.sort_uniq compare deq));
+      (* Drain the surplus and check full conservation. *)
+      let surplus = List.length enq - List.length deq in
+      let rest = ref [] in
+      let _ =
+        run ~procs:1 (fun _ ->
+            for _ = 1 to surplus do
+              match Pool.dequeue pool with
+              | Some v -> rest := v :: !rest
+              | None -> Alcotest.fail "drain failed"
+            done)
+      in
+      Alcotest.(check (list int))
+        "conservation after drain" enq
+        (List.sort compare (deq @ !rest)))
+    [ (8, 2, 1); (24, 8, 2); (48, 32, 3); (33, 4, 4) ]
+
+let test_stack_stress () =
+  List.iter
+    (fun (procs, width, seed) ->
+      let stack = Stack.create ~capacity:procs ~width () in
+      let enq, deq =
+        run_stress ~seed ~procs ~len:30
+          ~put:(fun v -> Stack.push stack v)
+          ~take:(fun () -> Stack.pop stack)
+      in
+      let surplus = List.length enq - List.length deq in
+      let rest = ref [] in
+      let _ =
+        run ~procs:1 (fun _ ->
+            for _ = 1 to surplus do
+              match Stack.pop stack with
+              | Some v -> rest := v :: !rest
+              | None -> Alcotest.fail "drain failed"
+            done)
+      in
+      Alcotest.(check (list int))
+        "conservation after drain" enq
+        (List.sort compare (deq @ !rest)))
+    [ (8, 2, 5); (24, 8, 6); (48, 32, 7) ]
+
+(* ------------------------------------------------------------------ *)
+(* IncDecCounter                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_idc_increment_only_dense () =
+  (* With elimination off and tokens only this is a counting tree:
+     n increments receive exactly 0..n-1. *)
+  let procs = 24 in
+  let c = Idc.create ~eliminate:false ~capacity:procs ~width:4 () in
+  let got = Array.make procs (-1) in
+  let _ =
+    run ~procs (fun p ->
+        match Idc.increment c with
+        | Idc.Slot v -> got.(p) <- v
+        | Idc.Paired -> Alcotest.fail "paired with elimination disabled")
+  in
+  Alcotest.(check (list int))
+    "dense values" (List.init procs Fun.id)
+    (List.sort compare (Array.to_list got))
+
+let test_idc_inc_dec_net () =
+  (* Phased: increments first, then decrements — decrements receive the
+     most recently handed out values (stack-pointer behaviour) and the
+     net count is zero. *)
+  let c = Idc.create ~eliminate:false ~capacity:8 ~width:2 () in
+  let incs = ref [] and decs = ref [] in
+  let _ =
+    run ~procs:8 (fun p ->
+        if p < 6 then begin
+          match Idc.increment c with
+          | Idc.Slot v -> incs := v :: !incs
+          | Idc.Paired -> assert false
+        end
+        else begin
+          (* Let all increments finish first. *)
+          E.delay 50_000;
+          match Idc.decrement c with
+          | Idc.Slot v -> decs := v :: !decs
+          | Idc.Paired -> assert false
+        end)
+  in
+  Alcotest.(check (list int))
+    "increments dense" (List.init 6 Fun.id)
+    (List.sort compare !incs);
+  Alcotest.(check (list int))
+    "decrements return the top two" [ 4; 5 ]
+    (List.sort compare !decs)
+
+let test_idc_elimination_pairs () =
+  let procs = 32 in
+  let c = Idc.create ~capacity:procs ~width:4 () in
+  let paired_inc = ref 0 and paired_dec = ref 0 in
+  let _ =
+    run ~procs (fun p ->
+        if p land 1 = 0 then (
+          match Idc.increment c with
+          | Idc.Paired -> incr paired_inc
+          | Idc.Slot _ -> ())
+        else
+          match Idc.decrement c with
+          | Idc.Paired -> incr paired_dec
+          | Idc.Slot _ -> ())
+  in
+  check_int "pairings match" !paired_inc !paired_dec
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_diagnostics_sequential () =
+  (* Sequential tokens never collide, so every request visits exactly
+     depth balancers plus its leaf, and all of them reach leaves. *)
+  let tree = Tree.create ~capacity:1 (Core.Tree_config.etree 8) in
+  let _ =
+    run ~procs:1 (fun _ ->
+        for _ = 1 to 10 do
+          match Tree.traverse tree ~kind:Token ~value:None with
+          | Tree.Leaf _ -> ()
+          | Tree.Eliminated _ -> Alcotest.fail "sequential elimination"
+        done)
+  in
+  Alcotest.(check (float 0.001))
+    "expected nodes = depth + 1" 4.0
+    (Tree.expected_nodes_traversed tree);
+  Alcotest.(check (float 0.001))
+    "all requests reach leaves" 1.0
+    (Tree.leaf_access_fraction tree);
+  Tree.reset_stats tree;
+  Alcotest.(check (float 0.001))
+    "reset clears" 0.0
+    (Tree.expected_nodes_traversed tree)
+
+let test_kind_utilities () =
+  check_bool "opposite Token" true (Core.Location.opposite Token = Anti);
+  check_bool "opposite is an involution" true
+    (Core.Location.opposite (Core.Location.opposite Anti) = Anti)
+
+let test_spin_base_override () =
+  let fast = Core.Tree_config.etree ~spin_base:8 32 in
+  check_int "root spin" 8 fast.levels.(0).spin;
+  check_int "floor at 2" 2 fast.levels.(4).spin
+
+let test_config_validation () =
+  Alcotest.check_raises "width not a power of two"
+    (Invalid_argument "Tree_config: width must be a power of two") (fun () ->
+      ignore (Core.Tree_config.etree 12));
+  let c = Core.Tree_config.etree 32 in
+  check_int "five levels for width 32" 5 (Array.length c.levels);
+  Alcotest.(check (list int))
+    "root prisms per the paper" [ 32; 8 ]
+    c.levels.(0).prism_widths;
+  Alcotest.(check (list int))
+    "depth-1 prisms per the paper" [ 16; 4 ]
+    c.levels.(1).prism_widths;
+  check_int "root spin" 64 c.levels.(0).spin;
+  let d = Core.Tree_config.dtree 32 in
+  Alcotest.(check (list int)) "dtree single prism" [ 8 ] d.levels.(0).prism_widths
+
+let test_tree_width_one () =
+  let tree =
+    Tree.create ~capacity:2 (Core.Tree_config.etree 1)
+  in
+  let _ =
+    run ~procs:2 (fun _ ->
+        match Tree.traverse tree ~kind:Token ~value:None with
+        | Tree.Leaf 0 -> ()
+        | _ -> Alcotest.fail "width-1 tree must route to leaf 0")
+  in
+  ()
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "balancer",
+        [
+          Alcotest.test_case "sequential token toggling" `Quick
+            test_balancer_sequential_tokens;
+          Alcotest.test_case "pool anti toggle independent" `Quick
+            test_balancer_pool_anti_separate_toggle;
+          Alcotest.test_case "stack anti follows token" `Quick
+            test_balancer_stack_anti_follows_token;
+          Alcotest.test_case "quiescence and pairing" `Quick
+            test_balancer_quiescence_and_pairing;
+          Alcotest.test_case "pool balancing property" `Quick
+            test_balancer_pool_balancing_property;
+          Alcotest.test_case "elimination exchanges values" `Quick
+            test_balancer_elimination_exchanges_values;
+          Alcotest.test_case "eliminations happen under load" `Quick
+            test_balancer_eliminations_happen_under_load;
+          Alcotest.test_case "eliminate:false honoured" `Quick
+            test_balancer_no_elimination_when_disabled;
+          Alcotest.test_case "stats conservation" `Quick
+            test_balancer_stats_conservation;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "tokens-only step property" `Quick
+            test_tree_tokens_only_step_property;
+          Alcotest.test_case "pool balancing at leaves" `Quick
+            test_tree_pool_balancing_at_leaves;
+          Alcotest.test_case "figure 1 worked example" `Quick
+            test_figure_1_example;
+          Alcotest.test_case "width-1 tree" `Quick test_tree_width_one;
+          Alcotest.test_case "level flow conservation" `Quick
+            test_tree_level_flow_conservation;
+          QCheck_alcotest.to_alcotest prop_gap_step_property;
+          QCheck_alcotest.to_alcotest prop_pool_balancing_random;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "sequential" `Quick test_pool_sequential;
+          Alcotest.test_case "conservation" `Quick test_pool_conservation;
+          Alcotest.test_case "heavy elimination conserves" `Quick
+            test_pool_heavy_elimination_still_conserves;
+          Alcotest.test_case "dequeue waits for enqueue" `Quick
+            test_pool_dequeue_waits_for_enqueue;
+          Alcotest.test_case "residue counts surplus" `Quick
+            test_pool_residue_counts_surplus;
+          Alcotest.test_case "reusable after quiescence" `Quick
+            test_pool_reusable_after_quiescence;
+          Alcotest.test_case "stop drains waiting dequeues" `Quick
+            test_pool_stop_drains;
+          QCheck_alcotest.to_alcotest prop_pool_conservation_random;
+          QCheck_alcotest.to_alcotest prop_pool_sequential_bag_model;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "sequential LIFO" `Quick test_stack_sequential_lifo;
+          Alcotest.test_case "concurrent conservation" `Quick
+            test_stack_concurrent_conservation;
+          QCheck_alcotest.to_alcotest prop_stack_sequential_model;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "pool mixed programs" `Slow test_pool_stress;
+          Alcotest.test_case "stack mixed programs" `Slow test_stack_stress;
+        ] );
+      ( "inc_dec_counter",
+        [
+          Alcotest.test_case "increment-only dense" `Quick
+            test_idc_increment_only_dense;
+          Alcotest.test_case "inc/dec net" `Quick test_idc_inc_dec_net;
+          Alcotest.test_case "elimination pairs" `Quick
+            test_idc_elimination_pairs;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validation and defaults" `Quick
+            test_config_validation;
+          Alcotest.test_case "spin_base override" `Quick
+            test_spin_base_override;
+          Alcotest.test_case "kind utilities" `Quick test_kind_utilities;
+          Alcotest.test_case "tree diagnostics (sequential)" `Quick
+            test_tree_diagnostics_sequential;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the extension structures: Treiber stack, exchanger and the
+   elimination-backoff stack, under the simulator and natively. *)
+
+module E = Sim.Engine
+module Treiber = Extras.Treiber_stack.Make (E)
+module Exchanger = Extras.Exchanger.Make (E)
+module Eb = Extras.Eb_stack.Make (E)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run ?seed ~procs body =
+  let stats = Sim.run ?seed ~procs ~abort_after:100_000_000 body in
+  check_int "no simulated processor was cut off" 0 stats.aborted_procs;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Treiber stack                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_treiber_sequential_lifo () =
+  let s = Treiber.create () in
+  let _ =
+    run ~procs:1 (fun _ ->
+        check_bool "empty" true (Treiber.is_empty s);
+        Treiber.push s 1;
+        Treiber.push s 2;
+        Treiber.push s 3;
+        check_int "lifo" 3 (Option.get (Treiber.try_pop s));
+        Treiber.push s 4;
+        check_int "lifo" 4 (Option.get (Treiber.try_pop s));
+        check_int "lifo" 2 (Option.get (Treiber.try_pop s));
+        check_int "lifo" 1 (Option.get (Treiber.try_pop s));
+        Alcotest.(check (option int)) "drained" None (Treiber.try_pop s))
+  in
+  ()
+
+let test_treiber_concurrent_conservation () =
+  let s = Treiber.create () in
+  let got = ref [] in
+  let _ =
+    run ~procs:32 (fun p ->
+        if p < 16 then Treiber.push s p
+        else
+          match Treiber.pop s with
+          | Some v -> got := v :: !got
+          | None -> Alcotest.fail "pop failed")
+  in
+  Alcotest.(check (list int))
+    "conserved" (List.init 16 Fun.id)
+    (List.sort compare !got)
+
+let prop_treiber_sequential_model =
+  QCheck.Test.make ~name:"treiber stack is LIFO sequentially" ~count:50
+    QCheck.(list (int_range 0 9))
+    (fun program ->
+      let s = Treiber.create () in
+      let model = ref [] in
+      let counter = ref 0 in
+      let ok = ref true in
+      let _ =
+        Sim.run ~procs:1 ~abort_after:50_000_000 (fun _ ->
+            List.iter
+              (fun cmd ->
+                if cmd = 0 then (
+                  match (!model, Treiber.try_pop s) with
+                  | [], None -> ()
+                  | top :: rest, Some v ->
+                      if v <> top then ok := false;
+                      model := rest
+                  | _ -> ok := false)
+                else begin
+                  incr counter;
+                  Treiber.push s !counter;
+                  model := !counter :: !model
+                end)
+              program)
+      in
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Exchanger                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_exchanger_pairs_opposites () =
+  let x = Exchanger.create () in
+  let push_result = ref `Pending and pop_result = ref `Pending in
+  let _ =
+    run ~procs:2 (fun p ->
+        if p = 0 then
+          push_result :=
+            match
+              Exchanger.exchange x ~kind:Exchanger.Push ~value:(Some 42)
+                ~patience:5_000
+            with
+            | Some _ -> `Matched
+            | None -> `Timeout
+        else begin
+          E.delay 100;
+          pop_result :=
+            match
+              Exchanger.exchange x ~kind:Exchanger.Pop ~value:None
+                ~patience:5_000
+            with
+            | Some (Some v) -> `Got v
+            | Some None -> `Bad
+            | None -> `Timeout
+        end)
+  in
+  check_bool "push matched" true (!push_result = `Matched);
+  check_bool "pop got 42" true (!pop_result = `Got 42)
+
+let test_exchanger_same_kind_never_pairs () =
+  let x = Exchanger.create () in
+  let matched = ref 0 in
+  let _ =
+    run ~procs:8 (fun _ ->
+        match
+          Exchanger.exchange x ~kind:Exchanger.Push ~value:(Some 1)
+            ~patience:200
+        with
+        | Some _ -> incr matched
+        | None -> ())
+  in
+  check_int "no push/push exchange" 0 !matched
+
+let test_exchanger_timeout () =
+  let x = Exchanger.create () in
+  let out = ref (Some None) in
+  let _ =
+    run ~procs:1 (fun _ ->
+        out :=
+          Exchanger.exchange x ~kind:Exchanger.Pop ~value:None ~patience:100)
+  in
+  check_bool "lonely party times out" true (!out = None)
+
+(* ------------------------------------------------------------------ *)
+(* Elimination-backoff stack                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_eb_sequential_lifo () =
+  let s = Eb.create () in
+  let _ =
+    run ~procs:1 (fun _ ->
+        Eb.push s 1;
+        Eb.push s 2;
+        Eb.push s 3;
+        check_int "lifo" 3 (Option.get (Eb.try_pop s));
+        check_int "lifo" 2 (Option.get (Eb.try_pop s));
+        check_int "lifo" 1 (Option.get (Eb.try_pop s)))
+  in
+  ()
+
+let test_eb_concurrent_conservation () =
+  let s = Eb.create ~slots:8 () in
+  let got = ref [] in
+  let _ =
+    run ~procs:64 (fun p ->
+        if p land 1 = 0 then Eb.push s p
+        else
+          match Eb.pop s with
+          | Some v -> got := v :: !got
+          | None -> Alcotest.fail "pop failed")
+  in
+  Alcotest.(check (list int))
+    "conserved" (List.init 32 (fun i -> 2 * i))
+    (List.sort compare !got)
+
+let prop_eb_conservation =
+  QCheck.Test.make ~name:"eb stack conservation (random shapes)" ~count:15
+    QCheck.(pair (int_range 1 16) (int_range 1 4))
+    (fun (pairs, per) ->
+      let s = Eb.create ~slots:4 () in
+      let got = ref [] in
+      let _ =
+        Sim.run ~procs:(2 * pairs) ~abort_after:50_000_000 (fun p ->
+            if p < pairs then
+              for i = 0 to per - 1 do
+                Eb.push s ((p * per) + i)
+              done
+            else
+              for _ = 0 to per - 1 do
+                match Eb.pop s with
+                | Some v -> got := v :: !got
+                | None -> ()
+              done)
+      in
+      List.sort compare !got = List.init (pairs * per) Fun.id)
+
+(* Native (real domains) runs of the extension structures. *)
+module NT = Extras.Treiber_stack.Make (Engine.Native)
+module NEb = Extras.Eb_stack.Make (Engine.Native)
+
+let test_native_treiber () =
+  let s = NT.create () in
+  let domains = 4 and iters = 2_000 in
+  let results =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let got = ref [] in
+            for i = 0 to iters - 1 do
+              NT.push s ((d * iters) + i);
+              match NT.pop s with
+              | Some v -> got := v :: !got
+              | None -> assert false
+            done;
+            Engine.Native.release_pid ();
+            !got))
+    |> List.map Domain.join
+  in
+  Alcotest.(check (list int))
+    "conserved"
+    (List.init (domains * iters) Fun.id)
+    (List.concat results |> List.sort compare)
+
+let test_native_eb_stack () =
+  let s = NEb.create ~slots:4 () in
+  let domains = 4 and iters = 2_000 in
+  let results =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let got = ref [] in
+            for i = 0 to iters - 1 do
+              NEb.push s ((d * iters) + i);
+              match NEb.pop s with
+              | Some v -> got := v :: !got
+              | None -> assert false
+            done;
+            Engine.Native.release_pid ();
+            !got))
+    |> List.map Domain.join
+  in
+  Alcotest.(check (list int))
+    "conserved"
+    (List.init (domains * iters) Fun.id)
+    (List.concat results |> List.sort compare)
+
+let () =
+  Engine.Native.set_capacity 64;
+  Alcotest.run "extras"
+    [
+      ( "treiber",
+        [
+          Alcotest.test_case "sequential LIFO" `Quick test_treiber_sequential_lifo;
+          Alcotest.test_case "concurrent conservation" `Quick
+            test_treiber_concurrent_conservation;
+          QCheck_alcotest.to_alcotest prop_treiber_sequential_model;
+        ] );
+      ( "exchanger",
+        [
+          Alcotest.test_case "pairs opposites" `Quick
+            test_exchanger_pairs_opposites;
+          Alcotest.test_case "same kind never pairs" `Quick
+            test_exchanger_same_kind_never_pairs;
+          Alcotest.test_case "timeout" `Quick test_exchanger_timeout;
+        ] );
+      ( "eb_stack",
+        [
+          Alcotest.test_case "sequential LIFO" `Quick test_eb_sequential_lifo;
+          Alcotest.test_case "concurrent conservation" `Quick
+            test_eb_concurrent_conservation;
+          QCheck_alcotest.to_alcotest prop_eb_conservation;
+          Alcotest.test_case "native treiber" `Quick test_native_treiber;
+          Alcotest.test_case "native eb stack" `Quick test_native_eb_stack;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+(* Tests for locks and counters, run under the simulator where we can
+   drive hundreds of processors deterministically. *)
+
+module E = Sim.Engine
+module Mcs = Sync.Mcs_lock.Make (E)
+module Tas = Sync.Tas_lock.Make (E)
+module Mcs_counter = Sync.Mcs_counter.Make (E)
+module Naive_counter = Sync.Naive_counter.Make (E)
+module Ctree = Sync.Combining_tree.Make (E)
+module Backoff = Sync.Backoff.Make (E)
+module Anderson = Sync.Anderson_lock.Make (E)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Check mutual exclusion by protecting a deliberately non-atomic
+   read-modify-write (two separate shared operations): lost updates
+   appear immediately if two processors ever hold the lock at once. *)
+let exercise_lock ~procs ~iters ~acquire ~release =
+  let shared = E.cell 0 in
+  let in_cs = ref 0 in
+  let max_in_cs = ref 0 in
+  let _ =
+    Sim.run ~procs (fun _ ->
+        for _ = 1 to iters do
+          acquire ();
+          incr in_cs;
+          if !in_cs > !max_in_cs then max_in_cs := !in_cs;
+          let v = E.get shared in
+          E.delay (E.random_int 5);
+          E.set shared (v + 1);
+          decr in_cs;
+          release ()
+        done)
+  in
+  let final = ref 0 in
+  let _ = Sim.run ~procs:1 (fun _ -> final := E.get shared) in
+  (!final, !max_in_cs)
+
+let test_mcs_mutual_exclusion () =
+  let lock = Mcs.create ~capacity:16 () in
+  let total, max_in_cs =
+    exercise_lock ~procs:16 ~iters:20
+      ~acquire:(fun () -> Mcs.acquire lock)
+      ~release:(fun () -> Mcs.release lock)
+  in
+  check_int "no lost updates" (16 * 20) total;
+  check_int "never two holders" 1 max_in_cs
+
+let test_tas_mutual_exclusion () =
+  let lock = Tas.create () in
+  let total, max_in_cs =
+    exercise_lock ~procs:12 ~iters:15
+      ~acquire:(fun () -> Tas.acquire lock)
+      ~release:(fun () -> Tas.release lock)
+  in
+  check_int "no lost updates" (12 * 15) total;
+  check_int "never two holders" 1 max_in_cs
+
+let test_mcs_fifo_fairness () =
+  (* Processors enqueue on the lock in a staggered order; MCS must grant
+     the lock in exactly that order. *)
+  let procs = 8 in
+  let lock = Mcs.create ~capacity:procs () in
+  let order = ref [] in
+  let _ =
+    Sim.run ~procs (fun p ->
+        (* Stagger arrivals far enough apart that arrival order is
+           unambiguous (one rmw latency is 12 cycles). *)
+        E.delay ((p * 200) + 1);
+        Mcs.acquire lock;
+        order := p :: !order;
+        (* Hold the lock long enough that everyone queues up. *)
+        E.delay 500;
+        Mcs.release lock)
+  in
+  Alcotest.(check (list int))
+    "FIFO admission order" (List.init procs Fun.id) (List.rev !order)
+
+let test_mcs_with_lock_exception_releases () =
+  let lock = Mcs.create ~capacity:2 () in
+  let acquired_after = ref false in
+  let _ =
+    Sim.run ~procs:1 (fun _ ->
+        (try Mcs.with_lock lock (fun () -> raise Exit) with Exit -> ());
+        Mcs.with_lock lock (fun () -> acquired_after := true))
+  in
+  check_bool "lock released after exception" true !acquired_after
+
+let test_anderson_mutual_exclusion () =
+  let lock = Anderson.create ~capacity:16 () in
+  let total, max_in_cs =
+    exercise_lock ~procs:16 ~iters:15
+      ~acquire:(fun () -> Anderson.acquire lock)
+      ~release:(fun () -> Anderson.release lock)
+  in
+  check_int "no lost updates" (16 * 15) total;
+  check_int "never two holders" 1 max_in_cs
+
+let test_anderson_fifo () =
+  (* Tickets are handed out by fetch&add, so admission follows arrival
+     order exactly, like MCS. *)
+  let procs = 6 in
+  let lock = Anderson.create ~capacity:procs () in
+  let order = ref [] in
+  let _ =
+    Sim.run ~procs (fun p ->
+        E.delay ((p * 200) + 1);
+        Anderson.acquire lock;
+        order := p :: !order;
+        E.delay 500;
+        Anderson.release lock)
+  in
+  Alcotest.(check (list int))
+    "FIFO admission order" (List.init procs Fun.id) (List.rev !order)
+
+let test_tas_try_acquire () =
+  let lock = Tas.create () in
+  let observed = ref [] in
+  let _ =
+    Sim.run ~procs:2 (fun p ->
+        if p = 0 then begin
+          Tas.acquire lock;
+          E.delay 200;
+          Tas.release lock
+        end
+        else begin
+          E.delay 50;
+          observed := Tas.try_acquire lock :: !observed;
+          E.delay 400;
+          observed := Tas.try_acquire lock :: !observed
+        end)
+  in
+  Alcotest.(check (list bool))
+    "fails while held, succeeds when free" [ true; false ] !observed
+
+(* A counter must hand out each value exactly once, with no gaps. *)
+let counter_distinctness ~procs ~iters make =
+  let results = Array.make (procs * iters) (-1) in
+  let slot = ref 0 in
+  let _ =
+    Sim.run ~procs (fun _ ->
+        let counter = make () in
+        for _ = 1 to iters do
+          let v = Sync.Counter.fetch_and_inc counter in
+          let s = !slot in
+          incr slot;
+          results.(s) <- v
+        done)
+  in
+  let sorted = Array.to_list results |> List.sort compare in
+  Alcotest.(check (list int))
+    "dense distinct values"
+    (List.init (procs * iters) Fun.id)
+    sorted
+
+let test_mcs_counter () =
+  let c = ref None in
+  counter_distinctness ~procs:16 ~iters:10 (fun () ->
+      match !c with
+      | Some c -> c
+      | None ->
+          let v = Mcs_counter.as_counter (Mcs_counter.create ~capacity:16 ()) in
+          c := Some v;
+          v)
+
+let shared_counter make =
+  let c = ref None in
+  fun () ->
+    match !c with
+    | Some c -> c
+    | None ->
+        let v = make () in
+        c := Some v;
+        v
+
+let test_naive_counter () =
+  counter_distinctness ~procs:16 ~iters:10
+    (shared_counter (fun () -> Naive_counter.as_counter (Naive_counter.create ())))
+
+let test_combining_tree_small () =
+  counter_distinctness ~procs:4 ~iters:8
+    (shared_counter (fun () ->
+         Ctree.as_counter (Ctree.create ~width:2 ())))
+
+let test_combining_tree_wide () =
+  counter_distinctness ~procs:32 ~iters:5
+    (shared_counter (fun () ->
+         Ctree.as_counter (Ctree.create ~width:16 ())))
+
+let test_combining_tree_root_only () =
+  counter_distinctness ~procs:2 ~iters:10
+    (shared_counter (fun () ->
+         Ctree.as_counter (Ctree.create ~width:1 ())))
+
+let test_combining_tree_narrow_overload () =
+  (* More than two processors per leaf: the robust precombine wait must
+     still produce a correct count. *)
+  counter_distinctness ~procs:12 ~iters:4
+    (shared_counter (fun () ->
+         Ctree.as_counter (Ctree.create ~width:2 ())))
+
+let test_combining_tree_initial () =
+  let c = Ctree.create ~initial:100 ~width:2 () in
+  let seen = ref (-1) in
+  let _ = Sim.run ~procs:1 (fun _ -> seen := Ctree.fetch_and_inc c) in
+  check_int "initial value" 100 !seen
+
+let test_combining_actually_combines () =
+  (* Under full load, the root must receive fewer operations than the
+     total number of increments: combining is happening.  We detect this
+     through time: n serialized MCS increments cost more than n combined
+     increments for large n. *)
+  let procs = 64 in
+  let iters = 8 in
+  let ctree = Ctree.create ~width:32 () in
+  let mcs = Mcs_counter.create ~capacity:procs () in
+  let run fetch =
+    let stats =
+      Sim.run ~procs (fun _ ->
+          for _ = 1 to iters do
+            ignore (fetch ())
+          done)
+    in
+    stats.end_clock
+  in
+  let t_ctree = run (fun () -> Ctree.fetch_and_inc ctree) in
+  let t_mcs = run (fun () -> Mcs_counter.fetch_and_inc mcs) in
+  check_bool
+    (Printf.sprintf "combining tree (%d) beats MCS (%d) at high load"
+       t_ctree t_mcs)
+    true (t_ctree < t_mcs)
+
+let test_backoff_grows () =
+  let waited = ref [] in
+  let _ =
+    Sim.run ~procs:1 (fun _ ->
+        let b = Backoff.create ~init:2 ~max:64 () in
+        let t0 = ref (E.now ()) in
+        for _ = 1 to 8 do
+          Backoff.once b;
+          let t1 = E.now () in
+          waited := (t1 - !t0) :: !waited;
+          t0 := t1
+        done)
+  in
+  let w = List.rev !waited in
+  check_int "eight waits" 8 (List.length w);
+  List.iter (fun d -> check_bool "bounded by max+1" true (d <= 65)) w
+
+let prop_mcs_counter_any_procs =
+  QCheck.Test.make ~name:"mcs counter dense for random proc counts"
+    ~count:20
+    QCheck.(int_range 1 40)
+    (fun procs ->
+      let results = ref [] in
+      let c = Mcs_counter.create ~capacity:procs () in
+      let _ =
+        Sim.run ~procs (fun _ ->
+            for _ = 1 to 3 do
+              (* Bind before consing: constructor arguments evaluate
+                 right-to-left, so inlining the call would read !results
+                 before suspending and lose concurrent appends. *)
+              let v = Mcs_counter.fetch_and_inc c in
+              results := v :: !results
+            done)
+      in
+      List.sort compare !results = List.init (procs * 3) Fun.id)
+
+let prop_ctree_any_power_width =
+  QCheck.Test.make ~name:"combining tree dense for random widths"
+    ~count:15
+    QCheck.(pair (int_range 0 4) (int_range 1 24))
+    (fun (wexp, procs) ->
+      let width = 1 lsl wexp in
+      let results = ref [] in
+      let c = Ctree.create ~width () in
+      let _ =
+        Sim.run ~procs (fun _ ->
+            for _ = 1 to 2 do
+              let v = Ctree.fetch_and_inc c in
+              results := v :: !results
+            done)
+      in
+      List.sort compare !results = List.init (procs * 2) Fun.id)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "locks",
+        [
+          Alcotest.test_case "mcs mutual exclusion" `Quick
+            test_mcs_mutual_exclusion;
+          Alcotest.test_case "tas mutual exclusion" `Quick
+            test_tas_mutual_exclusion;
+          Alcotest.test_case "mcs fifo fairness" `Quick test_mcs_fifo_fairness;
+          Alcotest.test_case "mcs with_lock releases on exception" `Quick
+            test_mcs_with_lock_exception_releases;
+          Alcotest.test_case "tas try_acquire" `Quick test_tas_try_acquire;
+          Alcotest.test_case "anderson mutual exclusion" `Quick
+            test_anderson_mutual_exclusion;
+          Alcotest.test_case "anderson fifo" `Quick test_anderson_fifo;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "mcs counter dense" `Quick test_mcs_counter;
+          Alcotest.test_case "naive counter dense" `Quick test_naive_counter;
+          Alcotest.test_case "combining tree small" `Quick
+            test_combining_tree_small;
+          Alcotest.test_case "combining tree wide" `Quick
+            test_combining_tree_wide;
+          Alcotest.test_case "combining tree root-only" `Quick
+            test_combining_tree_root_only;
+          Alcotest.test_case "combining tree overloaded leaves" `Quick
+            test_combining_tree_narrow_overload;
+          Alcotest.test_case "combining tree initial value" `Quick
+            test_combining_tree_initial;
+          Alcotest.test_case "combining beats MCS under load" `Slow
+            test_combining_actually_combines;
+          QCheck_alcotest.to_alcotest prop_mcs_counter_any_procs;
+          QCheck_alcotest.to_alcotest prop_ctree_any_power_width;
+        ] );
+      ( "backoff",
+        [ Alcotest.test_case "grows and is bounded" `Quick test_backoff_grows ] );
+    ]

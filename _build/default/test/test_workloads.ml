@@ -1,0 +1,218 @@
+(* Sanity tests for the benchmark harness itself: every workload runs
+   every applicable method at small scale, produces self-consistent
+   numbers, and is deterministic in its seed. *)
+
+module W = Workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_counts = [ 2; 8 ]
+
+let test_produce_consume_all_methods () =
+  List.iter
+    (fun make ->
+      let p = W.Produce_consume.run ~horizon:10_000 ~workload:0 ~procs:8 make in
+      let name = (make ~procs:8).W.Pool_obj.name in
+      check_bool (name ^ ": did work") true (p.W.Produce_consume.ops > 0);
+      check_bool (name ^ ": latency positive") true
+        (p.W.Produce_consume.latency > 0.0);
+      check_bool (name ^ ": throughput consistent") true
+        (abs
+           (p.W.Produce_consume.throughput_per_m
+           - (p.W.Produce_consume.ops * 100))
+        <= 100))
+    W.Methods.produce_consume_methods
+
+let test_produce_consume_deterministic () =
+  let make = List.hd W.Methods.produce_consume_methods in
+  let a = W.Produce_consume.run ~seed:7 ~horizon:10_000 ~workload:100 ~procs:8 make in
+  let b = W.Produce_consume.run ~seed:7 ~horizon:10_000 ~workload:100 ~procs:8 make in
+  check_bool "same seed, same point" true (a = b)
+
+let test_produce_consume_workload_reduces_load () =
+  let make = fun ~procs -> W.Methods.mcs_pool ~procs () in
+  let busy = W.Produce_consume.run ~horizon:20_000 ~workload:0 ~procs:8 make in
+  let idle =
+    W.Produce_consume.run ~horizon:20_000 ~workload:16_000 ~procs:8 make
+  in
+  check_bool "think time lowers throughput" true
+    (idle.W.Produce_consume.ops < busy.W.Produce_consume.ops)
+
+let test_counting_all_methods () =
+  List.iter
+    (fun make ->
+      let p = W.Counting.run ~horizon:10_000 ~procs:8 make in
+      let name = (make ~procs:8).W.Pool_obj.cname in
+      check_bool (name ^ ": counted") true (p.W.Counting.ops > 0))
+    (W.Methods.naive_counter :: W.Methods.counting_methods)
+
+let test_queens_all_methods () =
+  List.iter
+    (fun make ->
+      List.iter
+        (fun procs ->
+          let p = W.Queens.run ~procs make in
+          let name = (make ~procs).W.Pool_obj.name in
+          check_int (name ^ ": all tasks consumed") W.Queens.total_tasks
+            p.W.Queens.consumed;
+          check_bool (name ^ ": took time") true (p.W.Queens.elapsed > 0))
+        small_counts)
+    W.Methods.distribution_methods
+
+let test_response_all_methods () =
+  List.iter
+    (fun make ->
+      let p = W.Response_time.run ~total:64 ~procs:4 make in
+      let name = (make ~procs:4).W.Pool_obj.name in
+      check_bool (name ^ ": all consumed") true (p.W.Response_time.consumed >= 64);
+      check_bool (name ^ ": normalized positive") true
+        (p.W.Response_time.normalized > 0.0))
+    W.Methods.distribution_methods
+
+let test_response_rejects_odd_procs () =
+  Alcotest.check_raises "odd procs rejected"
+    (Invalid_argument "Response_time.run: procs must be even and >= 2")
+    (fun () ->
+      ignore
+        (W.Response_time.run ~total:8 ~procs:3 (fun ~procs ->
+             W.Methods.mcs_pool ~procs ())))
+
+let test_load_sweep_monotone () =
+  (* More load (smaller workload) must mean more elimination at the
+     root and fewer requests reaching the leaves. *)
+  let points =
+    W.Load_sweep.sweep ~horizon:30_000 ~procs:64
+      ~workloads:[ 0; 16_000 ] ()
+  in
+  match points with
+  | [ busy; idle ] ->
+      check_bool "busy eliminates more" true
+        (busy.W.Load_sweep.root_elimination
+        > idle.W.Load_sweep.root_elimination);
+      check_bool "busy reaches leaves less" true
+        (busy.W.Load_sweep.leaf_fraction < idle.W.Load_sweep.leaf_fraction);
+      check_bool "busy has lower latency" true
+        (busy.W.Load_sweep.latency < idle.W.Load_sweep.latency)
+  | _ -> Alcotest.fail "unexpected sweep shape"
+
+let test_lifo_fidelity_orders_methods () =
+  (* The stack-like pool must be markedly more LIFO than the plain
+     pool (lower mean recency rank). *)
+  let stack =
+    W.Lifo_fidelity.run ~horizon:30_000 ~procs:16 (fun ~procs ->
+        W.Methods.estack_pool ~procs ())
+  in
+  let pool =
+    W.Lifo_fidelity.run ~horizon:30_000 ~procs:16 (fun ~procs ->
+        W.Methods.etree_pool ~procs ())
+  in
+  check_bool "ranks in [0,1]" true
+    (stack.W.Lifo_fidelity.mean_rank >= 0.0
+    && stack.W.Lifo_fidelity.mean_rank <= 1.0);
+  check_bool "stack-like pool is more LIFO" true
+    (stack.W.Lifo_fidelity.mean_rank +. 0.1
+    < pool.W.Lifo_fidelity.mean_rank);
+  check_bool "did work" true (stack.W.Lifo_fidelity.pops > 0)
+
+let test_table1_shape () =
+  let r = W.Table1.run ~horizon:20_000 ~procs:32 () in
+  check_int "five levels for width 32" 5 (List.length r.W.Table1.rows);
+  List.iter
+    (fun (row : W.Table1.level_row) ->
+      check_bool "fractions in [0,1]" true
+        (row.W.Table1.fraction >= 0.0 && row.W.Table1.fraction <= 1.0))
+    r.W.Table1.rows;
+  check_bool "expected nodes within tree depth + leaf" true
+    (r.W.Table1.expected_nodes >= 1.0 && r.W.Table1.expected_nodes <= 6.0);
+  check_bool "root eliminates under full load" true
+    ((List.hd r.W.Table1.rows).W.Table1.fraction > 0.2)
+
+let test_etree_beats_mcs_under_high_load () =
+  (* The paper's headline (Fig. 7): at 256 processors the elimination
+     tree's throughput exceeds MCS by a wide margin, and its latency is
+     lower. *)
+  let etree =
+    W.Produce_consume.run ~horizon:30_000 ~workload:0 ~procs:256 (fun ~procs ->
+        W.Methods.etree_pool ~procs ())
+  in
+  let mcs =
+    W.Produce_consume.run ~horizon:30_000 ~workload:0 ~procs:256 (fun ~procs ->
+        W.Methods.mcs_pool ~procs ())
+  in
+  check_bool "etree throughput > 3x mcs" true
+    (etree.W.Produce_consume.throughput_per_m
+    > 3 * mcs.W.Produce_consume.throughput_per_m);
+  check_bool "etree latency < mcs latency" true
+    (etree.W.Produce_consume.latency < mcs.W.Produce_consume.latency)
+
+let test_mcs_beats_etree_when_sparse () =
+  (* And the flip side: with few processors the queue lock wins. *)
+  let etree =
+    W.Produce_consume.run ~horizon:30_000 ~workload:0 ~procs:2 (fun ~procs ->
+        W.Methods.etree_pool ~procs ())
+  in
+  let mcs =
+    W.Produce_consume.run ~horizon:30_000 ~workload:0 ~procs:2 (fun ~procs ->
+        W.Methods.mcs_pool ~procs ())
+  in
+  check_bool "mcs latency lower at 2 procs" true
+    (mcs.W.Produce_consume.latency < etree.W.Produce_consume.latency)
+
+let test_rsu_sparse_response_penalty () =
+  (* Fig. 10 right: RSU pays a large sparse-handoff penalty vs Etree. *)
+  let etree =
+    W.Response_time.run ~total:64 ~procs:4 (fun ~procs ->
+        W.Methods.etree_pool ~procs ())
+  in
+  let rsu =
+    W.Response_time.run ~total:64 ~procs:4 (fun ~procs ->
+        W.Methods.rsu_pool ~procs ())
+  in
+  check_bool "rsu normalized response >= 5x etree" true
+    (rsu.W.Response_time.normalized >= 5.0 *. etree.W.Response_time.normalized)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "produce_consume",
+        [
+          Alcotest.test_case "all methods run" `Quick
+            test_produce_consume_all_methods;
+          Alcotest.test_case "deterministic" `Quick
+            test_produce_consume_deterministic;
+          Alcotest.test_case "workload reduces load" `Quick
+            test_produce_consume_workload_reduces_load;
+        ] );
+      ( "counting",
+        [ Alcotest.test_case "all methods run" `Quick test_counting_all_methods ]
+      );
+      ( "queens",
+        [ Alcotest.test_case "all methods complete" `Slow test_queens_all_methods ]
+      );
+      ( "response_time",
+        [
+          Alcotest.test_case "all methods complete" `Slow
+            test_response_all_methods;
+          Alcotest.test_case "odd procs rejected" `Quick
+            test_response_rejects_odd_procs;
+        ] );
+      ( "table1",
+        [ Alcotest.test_case "shape" `Quick test_table1_shape ] );
+      ( "thesis",
+        [
+          Alcotest.test_case "load sweep monotone" `Quick
+            test_load_sweep_monotone;
+          Alcotest.test_case "lifo fidelity orders methods" `Quick
+            test_lifo_fidelity_orders_methods;
+        ] );
+      ( "paper_shapes",
+        [
+          Alcotest.test_case "etree beats mcs at high load" `Slow
+            test_etree_beats_mcs_under_high_load;
+          Alcotest.test_case "mcs beats etree when sparse" `Quick
+            test_mcs_beats_etree_when_sparse;
+          Alcotest.test_case "rsu sparse response penalty" `Slow
+            test_rsu_sparse_response_penalty;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+(* CLI driver for the effect-discipline lint.
+
+     dune build @lint
+     dune exec bin/etrees_lint.exe -- [--allowlist FILE] PATH...
+
+   Each PATH is an .ml file or a directory scanned recursively for .ml
+   files.  Output is one machine-readable line per violation
+   (file:line:col: [rule] message); exit status 1 if any violation
+   survives the allowlist, 2 on parse/usage errors. *)
+
+let usage = "etrees_lint [--allowlist FILE] PATH..."
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun name -> ml_files_under (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let allowlist_file = ref None in
+  let paths = ref [] in
+  Arg.parse
+    [
+      ( "--allowlist",
+        Arg.String (fun f -> allowlist_file := Some f),
+        "FILE Allowlist of deliberate exceptions (path rule pairs)" );
+    ]
+    (fun p -> paths := p :: !paths)
+    usage;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  try
+    let allows =
+      match !allowlist_file with
+      | Some f -> Analysis.Lint_rules.load_allowlist f
+      | None -> []
+    in
+    let files = List.concat_map ml_files_under (List.rev !paths) in
+    let violations = List.concat_map Analysis.Lint_rules.scan_file files in
+    let kept, suppressed, unused =
+      Analysis.Lint_rules.apply_allowlist allows violations
+    in
+    List.iter
+      (fun v -> print_endline (Analysis.Lint_rules.format_violation v))
+      kept;
+    List.iter
+      (fun (a : Analysis.Lint_rules.allow) ->
+        Printf.eprintf "note: unused allowlist entry: %s %s\n" a.path
+          (Analysis.Lint_rules.rule_name a.allowed))
+      unused;
+    Printf.eprintf
+      "etrees_lint: %d file(s), %d violation(s), %d allowlisted\n"
+      (List.length files) (List.length kept) (List.length suppressed);
+    exit (if kept = [] then 0 else 1)
+  with
+  | Analysis.Lint_rules.Parse_error msg ->
+      prerr_endline msg;
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "etrees_lint: %s\n" msg;
+      exit 2

@@ -91,9 +91,10 @@ let pc_cmd =
   let run procs seed horizon workload make =
     let p = W.Produce_consume.run ~seed ~horizon ~workload ~procs make in
     Printf.printf
-      "%s procs=%d workload=%d: %d ops, %d ops/Mcycle, %.1f cycles/op\n"
+      "%s procs=%d workload=%d: %d ops, %d ops/Mcycle, %.1f cycles/op, mem %s\n"
       (make ~procs).W.Pool_obj.name procs workload p.W.Produce_consume.ops
       p.W.Produce_consume.throughput_per_m p.W.Produce_consume.latency
+      (W.Report.ops p.W.Produce_consume.mem)
   in
   Cmd.v
     (Cmd.info "pc" ~doc:"Produce-consume benchmark (Figures 7/8).")
@@ -103,9 +104,10 @@ let pc_cmd =
 let count_cmd =
   let run procs seed horizon make =
     let p = W.Counting.run ~seed ~horizon ~procs make in
-    Printf.printf "%s procs=%d: %d ops, %d ops/Mcycle\n"
+    Printf.printf "%s procs=%d: %d ops, %d ops/Mcycle, mem %s\n"
       (make ~procs).W.Pool_obj.cname procs p.W.Counting.ops
       p.W.Counting.throughput_per_m
+      (W.Report.ops p.W.Counting.mem)
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Counting benchmark (Figure 9).")

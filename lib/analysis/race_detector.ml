@@ -1,0 +1,165 @@
+(* Simulated-memory race detector (etrees.analysis, dynamic prong).
+
+   Installs a {!Sim.Memory.tracer} for the duration of a thunk and
+   audits every engine-level operation against the effect discipline:
+
+   - [raw-write]: an operation found its cell holding a value that is
+     not (physically) the one the engine last installed — some code
+     mutated [c.v] directly, bypassing the scheduler.  Such writes cost
+     zero simulated cycles and are never serialized, so they corrupt
+     both the timing results and (under contention) the values.  This
+     is the dynamic complement of the static lint: the lint sees the
+     mutation site, the detector sees its effect on a live run.
+
+   - [serialized-overlap]: two serialized operations on one location
+     whose service windows overlap.  The busy-until chain makes this
+     impossible by construction, so this check is a scheduler
+     self-check; a report here means the simulator itself is broken.
+
+   - reads whose completion instant falls inside an in-flight
+     serialized write's [begins, finish) window are counted in
+     [overlapping_reads].  Under the simulator's memory model these are
+     *benign* — reads model cached lines and observe the pre-write
+     value, exactly like a local-spinning waiter racing its
+     predecessor's release — so they are diagnostics by default and
+     promoted to [read-write-overlap] races only under
+     [~strict_reads:true] (useful when auditing code that is supposed
+     to hold a location's lock around its reads).
+
+   Raw-write detection is sound but not complete: a raw write that
+   reinstalls the physically-identical value, or that is raw-overwritten
+   before any engine operation touches the cell again, is missed.
+   Detection is also deduplicated per location (the shadow stays stale
+   after a raw read-side detection, so one stray write would otherwise
+   drown the report). *)
+
+type kind = Raw_write | Serialized_overlap | Read_write_overlap
+
+let kind_name = function
+  | Raw_write -> "raw-write"
+  | Serialized_overlap -> "serialized-overlap"
+  | Read_write_overlap -> "read-write-overlap"
+
+type race = {
+  kind : kind;
+  loc_id : int;       (* Memory.loc allocation index *)
+  pid : int;          (* processor whose operation detected it *)
+  time : int;         (* simulated completion time of that operation *)
+  writer_pid : int;   (* last engine writer of the location (-1 none) *)
+  writer_time : int;
+  writer_seq : int;
+  detail : string;
+}
+
+type report = {
+  races : race list;        (* detection order *)
+  overlapping_reads : int;
+  reads_checked : int;
+  commits_checked : int;
+  issues_checked : int;
+}
+
+let format_race r =
+  let writer =
+    if r.writer_pid < 0 then "no engine writer yet"
+    else
+      Printf.sprintf "last engine writer: pid %d at t=%d seq %d" r.writer_pid
+        r.writer_time r.writer_seq
+  in
+  Printf.sprintf "[%s] loc %d: pid %d at t=%d (%s) — %s" (kind_name r.kind)
+    r.loc_id r.pid r.time writer r.detail
+
+let format_report rep =
+  let header =
+    Printf.sprintf
+      "race detector: %d race(s); %d overlapping read(s); %d reads, %d \
+       commits, %d serialized issues checked\n"
+      (List.length rep.races) rep.overlapping_reads rep.reads_checked
+      rep.commits_checked rep.issues_checked
+  in
+  header ^ String.concat "" (List.map (fun r -> format_race r ^ "\n") rep.races)
+
+(* Run [f] with the detector observing all simulated-memory traffic.
+   Nested uses restore the previously installed tracer. *)
+let run ?(strict_reads = false) ?(max_races = 1000) f =
+  let races = ref [] in
+  let n_races = ref 0 in
+  let overlapping_reads = ref 0 in
+  let reads_checked = ref 0 in
+  let commits_checked = ref 0 in
+  let issues_checked = ref 0 in
+  (* Locations with an already-reported raw write: their shadow stays
+     stale (reads cannot heal it), so report each location once. *)
+  let dirty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add (loc : Sim.Memory.loc) kind ~pid ~time detail =
+    if !n_races < max_races then
+      races :=
+        {
+          kind;
+          loc_id = loc.id;
+          pid;
+          time;
+          writer_pid = loc.epoch_pid;
+          writer_time = loc.epoch_time;
+          writer_seq = loc.epoch_seq;
+          detail;
+        }
+        :: !races;
+    incr n_races
+  in
+  let raw_write (loc : Sim.Memory.loc) ~pid ~time ~op =
+    if not (Hashtbl.mem dirty loc.id) then begin
+      Hashtbl.add dirty loc.id ();
+      add loc Raw_write ~pid ~time
+        (Printf.sprintf
+           "%s found a value the engine never installed: a raw mutation \
+            bypassed the effect discipline"
+           op)
+    end
+  in
+  let on_read (loc : Sim.Memory.loc) ~pid ~issued ~fired ~serialized ~clean =
+    incr reads_checked;
+    if not clean then raw_write loc ~pid ~time:fired ~op:"read";
+    if
+      (not serialized)
+      && loc.pend_pid >= 0
+      && loc.pend_pid <> pid
+      && fired >= loc.pend_begins
+      && fired < loc.pend_finish
+    then begin
+      incr overlapping_reads;
+      if strict_reads then
+        add loc Read_write_overlap ~pid ~time:fired
+          (Printf.sprintf
+             "read issued at t=%d completed inside pid %d's in-flight \
+              serialized window [%d, %d)"
+             issued loc.pend_pid loc.pend_begins loc.pend_finish)
+    end
+  in
+  let on_issue (loc : Sim.Memory.loc) ~pid ~now ~begins ~finish =
+    incr issues_checked;
+    (* [begins] is max(now, busy_until) and busy_until is the previous
+       op's finish, so overlap here means the busy-until chain broke. *)
+    if loc.pend_pid >= 0 && begins < loc.pend_finish then
+      add loc Serialized_overlap ~pid ~time:now
+        (Printf.sprintf
+           "serialized window [%d, %d) overlaps pid %d's window [%d, %d): \
+            busy-until chain violated"
+           begins finish loc.pend_pid loc.pend_begins loc.pend_finish)
+  in
+  let on_commit (loc : Sim.Memory.loc) ~pid ~time ~clean =
+    incr commits_checked;
+    if not clean then raw_write loc ~pid ~time ~op:"serialized op"
+  in
+  let prev = !Sim.Memory.tracer in
+  Sim.Memory.tracer := Some { Sim.Memory.on_read; on_issue; on_commit };
+  Fun.protect ~finally:(fun () -> Sim.Memory.tracer := prev) @@ fun () ->
+  let result = f () in
+  ( result,
+    {
+      races = List.rev !races;
+      overlapping_reads = !overlapping_reads;
+      reads_checked = !reads_checked;
+      commits_checked = !commits_checked;
+      issues_checked = !issues_checked;
+    } )

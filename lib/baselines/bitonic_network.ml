@@ -157,19 +157,20 @@ module Make (E : Engine.S) = struct
   (* Route one token from input wire [wire] to its logical output. *)
   let traverse t ~wire =
     if wire < 0 || wire >= t.width then invalid_arg "Bitonic_network.traverse";
-    let current = ref wire in
-    Array.iter
-      (fun layer ->
-        let w = !current in
-        let p = layer.partner.(w) in
-        if p >= 0 then begin
-          let top, bottom = if layer.is_top.(w) then (w, p) else (p, w) in
-          let old = toggle layer.state.(top) in
-          (* First token out the top wire, second out the bottom. *)
-          current := (if old then bottom else top)
-        end)
-      t.layers;
-    t.position.(!current)
+    let out =
+      Array.fold_left
+        (fun w layer ->
+          let p = layer.partner.(w) in
+          if p < 0 then w
+          else begin
+            let top, bottom = if layer.is_top.(w) then (w, p) else (p, w) in
+            let old = toggle layer.state.(top) in
+            (* First token out the top wire, second out the bottom. *)
+            if old then bottom else top
+          end)
+        wire t.layers
+    in
+    t.position.(out)
 
   let fetch_and_inc t =
     let wire =

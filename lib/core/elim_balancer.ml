@@ -47,6 +47,9 @@ module Make (E : Engine.S) = struct
   let make_location ~capacity : 'v location =
     Array.init capacity (fun _ -> E.cell Location.Empty)
 
+  (* Number of processors the announcement array can accommodate. *)
+  let location_capacity (location : 'v location) = Array.length location
+
   let create ?(mode = `Pool) ?(eliminate = true) ~id ~prism_widths ~spin
       ~location () =
     if prism_widths = [] then
@@ -107,28 +110,31 @@ module Make (E : Engine.S) = struct
            (atomically) written our fate; nothing else writes here. *)
         assert false
 
-  (* Attempt to collide with processor [him].  Returns [Some outcome]
-     if this traversal is over (either because we claimed [him] or
-     because somebody claimed us while we tried), [None] to keep going.
-     [my_box] is re-announced on a failed claim, per Fig. 4. *)
+  (* The state of a traversal after a collision attempt: either it is
+     over, or it continues carrying its current announcement box (which
+     changes whenever a failed claim forces a re-announce, per Fig. 4).
+     Threading the box through the traversal keeps the whole protocol
+     inside the engine discipline — no host-level ref cells. *)
+  type 'v attempt = Done of 'v Location.outcome | Keep of 'v Location.entry
+
+  (* Attempt to collide with processor [him].  [Done] if this traversal
+     is over (either because we claimed [him] or because somebody
+     claimed us while we tried); [Keep] to keep going. *)
   let try_collide t ~kind ~value ~my_cell ~my_box him =
     match E.get t.location.(him) with
     | Location.Announced { balancer; kind = his_kind; value = his_value }
       as his_box
       when balancer = t.id && (t.eliminate || his_kind = kind) ->
-        if E.compare_and_set my_cell !my_box Location.Empty then
+        if E.compare_and_set my_cell my_box Location.Empty then
           if his_kind = kind then
             if
               E.compare_and_set t.location.(him) his_box Location.Diffracted
             then begin
               (* Diffracting collision: we take wire 1, partner wire 0. *)
               Elim_stats.note_diffracted t.stats 1;
-              Some (Location.Exit 1)
+              Done (Location.Exit 1)
             end
-            else begin
-              my_box := announce t ~kind ~value;
-              None
-            end
+            else Keep (announce t ~kind ~value)
           else if
             E.compare_and_set t.location.(him) his_box
               (Location.Eliminated_slot value)
@@ -136,22 +142,19 @@ module Make (E : Engine.S) = struct
             (* Eliminating collision: our value is now in the partner's
                entry; an Anti initiator walks away with the Token's. *)
             Elim_stats.note_eliminated t.stats 1;
-            Some (Location.Eliminated his_value)
+            Done (Location.Eliminated his_value)
           end
-          else begin
-            my_box := announce t ~kind ~value;
-            None
-          end
+          else Keep (announce t ~kind ~value)
         else
           (* Our own claim failed: someone claimed us first. *)
-          Some (claimed_outcome t my_cell)
-    | _ -> None (* stale prism slot: not (or no longer) at this balancer *)
+          Done (claimed_outcome t my_cell)
+    | _ -> Keep my_box (* stale prism slot: not (or no longer) here *)
 
   (* Fall through to the toggle bit (Fig. 4 part 2). *)
   let toggle_phase t ~kind ~my_cell ~my_box : 'v Location.outcome =
     let i = toggle_index t kind in
     Lock.acquire t.locks.(i);
-    if E.compare_and_set my_cell !my_box Location.Empty then begin
+    if E.compare_and_set my_cell my_box Location.Empty then begin
       let old = E.get t.toggles.(i) in
       E.set t.toggles.(i) (not old);
       Lock.release t.locks.(i);
@@ -169,31 +172,31 @@ module Make (E : Engine.S) = struct
     Elim_stats.entered t.stats kind;
     let p = E.pid () in
     let my_cell = t.location.(p) in
-    let my_box = ref (announce t ~kind ~value) in
     let nprisms = Array.length t.prisms in
-    let rec prism_phase i =
+    let rec prism_phase i my_box =
       if i >= nprisms then toggle_phase t ~kind ~my_cell ~my_box
       else begin
         let prism = t.prisms.(i) in
         let slot = E.random_int (Array.length prism) in
         let him = E.exchange prism.(slot) p in
-        let colliding =
+        let attempt =
           if him >= 0 && him <> p then
             try_collide t ~kind ~value ~my_cell ~my_box him
-          else None
+          else Keep my_box
         in
-        match colliding with
-        | Some outcome -> outcome
-        | None -> (
+        match attempt with
+        | Done outcome -> outcome
+        | Keep my_box -> (
             (* Wait in hope of being collided with, then check. *)
             E.delay t.spin;
             match E.get my_cell with
             | Location.Diffracted | Location.Eliminated_slot _ ->
                 claimed_outcome t my_cell
-            | Location.Announced _ | Location.Empty -> prism_phase (i + 1))
+            | Location.Announced _ | Location.Empty ->
+                prism_phase (i + 1) my_box)
       end
     in
-    prism_phase 0
+    prism_phase 0 (announce t ~kind ~value)
 
   let stats t = t.stats
 end

@@ -19,6 +19,9 @@ module Make (E : Engine.S) : sig
 
   val make_location : capacity:int -> 'v location
 
+  val location_capacity : 'v location -> int
+  (** Number of processors the announcement array accommodates. *)
+
   type 'v t
 
   val create :

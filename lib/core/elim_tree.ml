@@ -36,6 +36,21 @@ module Make (E : Engine.S) = struct
   let create ?(mode = `Pool) ?(eliminate = true) ?(leaf_order = `Natural)
       ~capacity (config : Tree_config.t) =
     let config = Tree_config.validate config in
+    if capacity < 1 then
+      invalid_arg "Elim_tree.create: capacity must be positive";
+    (* When created inside an engine context (a [Sim.run] body or a
+       capacity-configured native engine), the announcement array must
+       cover every processor that can traverse: [E.pid ()] indexes it
+       directly.  Outside any context [E.nprocs] raises and the check
+       is deferred to {!traverse}. *)
+    (match try Some (E.nprocs ()) with Failure _ -> None with
+    | Some nprocs when capacity < nprocs ->
+        invalid_arg
+          (Printf.sprintf
+             "Elim_tree.create: capacity %d < %d participating processors \
+              (raise ~capacity)"
+             capacity nprocs)
+    | _ -> ());
     let width = config.width in
     let location = Balancer.make_location ~capacity in
     let balancers =
@@ -55,6 +70,14 @@ module Make (E : Engine.S) = struct
   let width t = t.width
 
   let traverse t ~(kind : Location.kind) ~(value : 'v option) : 'v result =
+    let p = E.pid () in
+    if p >= Balancer.location_capacity t.location then
+      invalid_arg
+        (Printf.sprintf
+           "Elim_tree.traverse: processor %d exceeds tree capacity %d \
+            (create with a larger ~capacity)"
+           p
+           (Balancer.location_capacity t.location));
     if t.width = 1 then Leaf 0
     else begin
       let rec go idx depth acc =
@@ -74,14 +97,12 @@ module Make (E : Engine.S) = struct
 
   (* Statistics for Table 1: merged per depth, root first. *)
   let stats_by_level t =
+    let balancers = Array.to_list t.balancers in
     List.init t.depth (fun d ->
-        let level_stats = ref [] in
-        Array.iteri
-          (fun i b ->
-            if depth_of_index i = d then
-              level_stats := Balancer.stats b :: !level_stats)
-          t.balancers;
-        Elim_stats.merge !level_stats)
+        balancers
+        |> List.filteri (fun i _ -> depth_of_index i = d)
+        |> List.map Balancer.stats
+        |> Elim_stats.merge)
 
   let reset_stats t =
     Array.iter (fun b -> Elim_stats.reset (Balancer.stats b)) t.balancers

@@ -16,7 +16,22 @@
    [fetch_and_add] ([fetch_and_increment]).  [compare_and_set] compares
    with physical equality, matching [Atomic.compare_and_set]; all
    algorithms here only ever CAS against a value they previously read or
-   wrote, so physical equality is sufficient. *)
+   wrote, so physical equality is sufficient.
+
+   The effect discipline.  Engine-parametric code must route EVERY
+   access to shared state through a cell and the operations below —
+   never a raw [ref], [mutable] field, array store or direct [Atomic].
+   The discipline is not style: under [Sim.Engine] a raw mutation is a
+   zero-cost, unserialized store that the per-location queueing never
+   sees, silently corrupting the very contention behaviour the
+   experiments measure (and natively it is simply a data race).  Truly
+   processor-private or construction-only state may opt out, but each
+   such site must carry a justification in
+   lib/analysis/lint_allowlist.txt.  Two tools enforce this
+   (docs/ANALYSIS.md): the parsetree lint behind `dune build @lint`
+   flags raw mutation statically, and [Analysis.Race_detector] audits
+   simulated runs dynamically by stamping each location with its last
+   engine writer and checking the stamp on every operation. *)
 
 module type S = sig
   type 'a cell

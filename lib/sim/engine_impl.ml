@@ -2,42 +2,83 @@
 
    Every primitive maps to one scheduler effect, charged according to the
    run's {!Memory.config}.  All of these must be called from inside a
-   processor body passed to [Sim.run]; calling them elsewhere raises. *)
+   processor body passed to [Sim.run]; calling them elsewhere raises.
+
+   Each operation also maintains the analysis stamps of {!Memory}: a
+   [clean] check (is the cell's value still the engine-installed one?)
+   runs before the operation's own side effect, committed mutations
+   refresh the cell's shadow and last-writer epoch, and an installed
+   {!Memory.tracer} observes every completion.  The stamps cost a few
+   host-level stores and zero simulated cycles; the tracer is [None]
+   outside [Analysis.Race_detector] runs. *)
 
 type 'a cell = 'a Memory.cell
 
 let cell = Memory.cell
 
+let trace_read c ~pid ~issued ~serialized =
+  match !Memory.tracer with
+  | Some tr ->
+      let t = Scheduler.the_sched () in
+      tr.Memory.on_read c.Memory.loc ~pid ~issued ~fired:t.clock ~serialized
+        ~clean:(Memory.shadow_clean c)
+  | None -> ()
+
+let trace_commit c ~pid ~clean =
+  match !Memory.tracer with
+  | Some tr ->
+      let t = Scheduler.the_sched () in
+      tr.Memory.on_commit c.Memory.loc ~pid ~time:t.clock ~clean
+  | None -> ()
+
 let get c =
   let t = Scheduler.the_sched () in
   t.op_reads <- t.op_reads + 1;
+  let pid = t.current and issued = t.clock in
   if t.config.reads_serialize then
     Effect.perform
       (Scheduler.Serialized
          {
            loc = c.Memory.loc;
            latency = t.config.read_latency;
-           run = (fun () -> c.Memory.v);
+           run =
+             (fun () ->
+               trace_read c ~pid ~issued ~serialized:true;
+               c.Memory.v);
          })
   else
     Effect.perform
       (Scheduler.Immediate
-         { latency = t.config.read_latency; run = (fun () -> c.Memory.v) })
+         {
+           latency = t.config.read_latency;
+           run =
+             (fun () ->
+               trace_read c ~pid ~issued ~serialized:false;
+               c.Memory.v);
+         })
 
 let set c x =
   let t = Scheduler.the_sched () in
   t.op_writes <- t.op_writes + 1;
+  let pid = t.current and seq = t.seq in
   Effect.perform
     (Scheduler.Serialized
        {
          loc = c.Memory.loc;
          latency = t.config.write_latency;
-         run = (fun () -> c.Memory.v <- x);
+         run =
+           (fun () ->
+             let clean = Memory.shadow_clean c in
+             c.Memory.v <- x;
+             Memory.commit_stamp c ~pid ~time:(Scheduler.the_sched ()).clock
+               ~seq;
+             trace_commit c ~pid ~clean);
        })
 
 let exchange c x =
   let t = Scheduler.the_sched () in
   t.op_rmws <- t.op_rmws + 1;
+  let pid = t.current and seq = t.seq in
   Effect.perform
     (Scheduler.Serialized
        {
@@ -45,14 +86,19 @@ let exchange c x =
          latency = t.config.rmw_latency;
          run =
            (fun () ->
+             let clean = Memory.shadow_clean c in
              let old = c.Memory.v in
              c.Memory.v <- x;
+             Memory.commit_stamp c ~pid ~time:(Scheduler.the_sched ()).clock
+               ~seq;
+             trace_commit c ~pid ~clean;
              old);
        })
 
 let compare_and_set c expected desired =
   let t = Scheduler.the_sched () in
   t.op_rmws <- t.op_rmws + 1;
+  let pid = t.current and seq = t.seq in
   Effect.perform
     (Scheduler.Serialized
        {
@@ -60,16 +106,24 @@ let compare_and_set c expected desired =
          latency = t.config.rmw_latency;
          run =
            (fun () ->
-             if c.Memory.v == expected then begin
-               c.Memory.v <- desired;
-               true
-             end
-             else false);
+             let clean = Memory.shadow_clean c in
+             let won =
+               if c.Memory.v == expected then begin
+                 c.Memory.v <- desired;
+                 Memory.commit_stamp c ~pid
+                   ~time:(Scheduler.the_sched ()).clock ~seq;
+                 true
+               end
+               else false
+             in
+             trace_commit c ~pid ~clean;
+             won);
        })
 
 let fetch_and_add c k =
   let t = Scheduler.the_sched () in
   t.op_rmws <- t.op_rmws + 1;
+  let pid = t.current and seq = t.seq in
   Effect.perform
     (Scheduler.Serialized
        {
@@ -77,8 +131,12 @@ let fetch_and_add c k =
          latency = t.config.rmw_latency;
          run =
            (fun () ->
+             let clean = Memory.shadow_clean c in
              let old = c.Memory.v in
              c.Memory.v <- old + k;
+             Memory.commit_stamp c ~pid ~time:(Scheduler.the_sched ()).clock
+               ~seq;
+             trace_commit c ~pid ~clean;
              old);
        })
 

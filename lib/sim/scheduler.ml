@@ -118,6 +118,16 @@ let start t p body =
                     else t.clock
                   in
                   let finish = begins + latency in
+                  (* Analysis hook: observe the new service window while
+                     [loc]'s pending stamp still describes the previous
+                     one (overlap would mean a broken busy-until chain),
+                     then stamp. *)
+                  (match !Memory.tracer with
+                  | Some tr ->
+                      tr.Memory.on_issue loc ~pid:t.current ~now:t.clock
+                        ~begins ~finish
+                  | None -> ());
+                  Memory.issue_stamp loc ~pid:t.current ~begins ~finish;
                   loc.Memory.busy_until <- finish;
                   schedule t finish
                     {

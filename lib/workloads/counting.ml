@@ -6,7 +6,12 @@
 
 module E = Sim.Engine
 
-type point = { procs : int; throughput_per_m : int; ops : int }
+type point = {
+  procs : int;
+  throughput_per_m : int;
+  ops : int;
+  mem : Sim.stats; (* engine-level operation counters, see Report.ops *)
+}
 
 let run ?(seed = 1) ?(horizon = 200_000) ~procs
     (make : procs:int -> Pool_obj.counter) =
@@ -28,6 +33,7 @@ let run ?(seed = 1) ?(horizon = 200_000) ~procs
     throughput_per_m =
       int_of_float (float_of_int !ops *. 1e6 /. float_of_int horizon);
     ops = !ops;
+    mem = stats;
   }
 
 let sweep ?seed ?horizon ~proc_counts make =

@@ -2,7 +2,12 @@
     loop until the horizon; elimination never fires, isolating the
     diffraction machinery. *)
 
-type point = { procs : int; throughput_per_m : int; ops : int }
+type point = {
+  procs : int;
+  throughput_per_m : int;
+  ops : int;
+  mem : Sim.stats;  (** engine-level operation counters of the run *)
+}
 
 val run :
   ?seed:int ->

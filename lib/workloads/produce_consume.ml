@@ -13,6 +13,7 @@ type point = {
   throughput_per_m : int; (* produce+consume ops per 10^6 cycles *)
   latency : float;        (* average cycles per operation *)
   ops : int;              (* raw operations completed in the window *)
+  mem : Sim.stats;        (* engine-level op counters, see Report.ops *)
 }
 
 let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
@@ -61,6 +62,7 @@ let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
       int_of_float (float_of_int !ops *. 1e6 /. float_of_int horizon);
     latency;
     ops = !ops;
+    mem = stats;
   }
 
 (* Sweep processor counts for one method. *)

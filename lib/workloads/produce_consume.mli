@@ -7,6 +7,7 @@ type point = {
   throughput_per_m : int; (** produce+consume ops per 10^6 cycles *)
   latency : float;        (** average cycles per operation *)
   ops : int;              (** raw operations completed in the window *)
+  mem : Sim.stats;        (** engine-level op counters of the run *)
 }
 
 val run :

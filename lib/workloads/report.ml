@@ -38,6 +38,11 @@ let table ~title ~row_label ~columns rows =
     rows;
   Buffer.contents buf
 
+(* One-line summary of the engine-level operation counters carried in a
+   run's [Sim.stats]: reads / writes / read-modify-writes issued. *)
+let ops (s : Sim.stats) =
+  Printf.sprintf "%dr/%dw/%drmw" s.Sim.reads s.Sim.writes s.Sim.rmws
+
 let float1 x = Printf.sprintf "%.1f" x
 let float2 x = Printf.sprintf "%.2f" x
 let percent x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -9,6 +9,10 @@ val table :
 (** [table ~title ~row_label ~columns rows] renders right-aligned
     columns; each row is (label, preformatted cells). *)
 
+val ops : Sim.stats -> string
+(** One-line [reads/writes/rmws] summary of a run's engine-level
+    operation counters, e.g. ["1052r/312w/97rmw"]. *)
+
 val float1 : float -> string
 val float2 : float -> string
 val percent : float -> string

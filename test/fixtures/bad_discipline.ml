@@ -1,0 +1,27 @@
+(* A deliberately discipline-violating module: the lint's known-bad
+   fixture.  Never compiled — the lint runs on parsetrees — but kept
+   compile-plausible.  Each block below must keep tripping exactly the
+   rule named in its comment; the golden expectations live in
+   bad_discipline.expected. *)
+
+(* [mutable-field]: engine-invisible shared state. *)
+type shared_counter = { mutable count : int; name : string }
+
+(* [ref]: an unserialized shared cell. *)
+let hits = ref 0
+
+(* [ref] (:=, !), [setfield]: zero-simulated-cost mutation. *)
+let bump c =
+  hits := !hits + 1;
+  c.count <- c.count + 1
+
+(* [ref] (incr) via first-class mention. *)
+let bump_all cells = List.iter incr cells
+
+(* [array-set]: both the sugar and the explicit call. *)
+let clear slots i =
+  slots.(i) <- 0;
+  Array.fill slots 0 (Array.length slots) 0
+
+(* [atomic]: real atomics bypass the simulated memory model entirely. *)
+let cas_flag (f : bool Atomic.t) = Atomic.compare_and_set f false true

@@ -1,0 +1,309 @@
+(* Tests for etrees.analysis: the static effect-discipline lint (golden
+   fixture, allowlist semantics) and the dynamic race detector (seeded
+   raw writes, strict-read promotion, clean-structure audits over the
+   paper's data structures). *)
+
+module E = Sim.Engine
+module M = Sim.Memory
+module Rd = Analysis.Race_detector
+module Lint = Analysis.Lint_rules
+module Pool = Core.Elim_pool.Make (E)
+module Stack = Core.Elim_stack.Make (E)
+module Idc = Core.Inc_dec_counter.Make (E)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run ?seed ~procs body =
+  let stats = Sim.run ?seed ~procs ~abort_after:100_000_000 body in
+  check_int "no simulated processor was cut off" 0 stats.Sim.aborted_procs;
+  stats
+
+let kinds (report : Rd.report) = List.map (fun r -> r.Rd.kind) report.Rd.races
+
+let no_races name (report : Rd.report) =
+  if report.Rd.races <> [] then
+    Alcotest.failf "%s: unexpected races:\n%s" name (Rd.format_report report)
+
+(* ------------------------------------------------------------------ *)
+(* Race detector: seeded violations                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_raw_write_seen_by_readers () =
+  (* A deliberately racy module: processor 0 bumps the shared cell with
+     a raw [c.v <- ...] while the others read it through the engine.
+     The readers' shadow checks must flag the bypass. *)
+  let (), report =
+    Rd.run (fun () ->
+        let c = M.cell 0 in
+        ignore
+          (run ~procs:4 (fun p ->
+               for _ = 1 to 10 do
+                 if p = 0 then c.M.v <- c.M.v + 1 (* raw: no E.set *)
+                 else ignore (E.get c);
+                 E.delay 3
+               done)))
+  in
+  check_bool "raw write detected" true (List.mem Rd.Raw_write (kinds report));
+  check_bool "reads were audited" true (report.Rd.reads_checked > 0)
+
+let test_raw_write_seen_at_commit () =
+  (* The commit-side check: a raw mutation followed by an engine write
+     on the same cell is caught when the engine write commits, even
+     with no concurrent reader. *)
+  let (), report =
+    Rd.run (fun () ->
+        ignore
+          (run ~procs:1 (fun _ ->
+               let c = M.cell 0 in
+               ignore (E.get c);
+               c.M.v <- 41;
+               E.set c 42)))
+  in
+  check_bool "raw write detected at commit" true
+    (List.mem Rd.Raw_write (kinds report))
+
+let test_raw_write_dedup_per_location () =
+  (* Many raw writes to one location produce one deduplicated race. *)
+  let (), report =
+    Rd.run (fun () ->
+        let c = M.cell 0 in
+        ignore
+          (run ~procs:2 (fun p ->
+               for _ = 1 to 20 do
+                 if p = 0 then c.M.v <- c.M.v + 1 else ignore (E.get c);
+                 E.delay 2
+               done)))
+  in
+  check_int "one race per dirty location"
+    1
+    (List.length (List.filter (fun k -> k = Rd.Raw_write) (kinds report)))
+
+let test_strict_reads_promotion () =
+  (* Unserialized reads landing inside another processor's in-flight
+     write window are benign under the cached-read model: counted as
+     diagnostics by default, promoted to races only under
+     [~strict_reads:true]. *)
+  let racy () =
+    let c = M.cell 0 in
+    ignore
+      (run ~procs:2 (fun p ->
+           for i = 1 to 5 do
+             if p = 0 then E.set c i else ignore (E.get c)
+           done))
+  in
+  let (), relaxed = Rd.run racy in
+  no_races "relaxed mode" relaxed;
+  check_bool "overlaps counted" true (relaxed.Rd.overlapping_reads > 0);
+  let (), strict = Rd.run ~strict_reads:true racy in
+  check_bool "strict mode promotes overlaps" true
+    (List.mem Rd.Read_write_overlap (kinds strict))
+
+let test_nested_runs_restore_tracer () =
+  let (), inner = Rd.run (fun () -> ignore (run ~procs:1 (fun _ -> ()))) in
+  no_races "inner" inner;
+  check_bool "tracer uninstalled after run" true (!M.tracer = None)
+
+(* ------------------------------------------------------------------ *)
+(* Race detector: clean structures stay clean                          *)
+(* ------------------------------------------------------------------ *)
+
+let audit name f =
+  let (), report = Rd.run f in
+  no_races name report;
+  check_bool (name ^ ": engine traffic audited") true
+    (report.Rd.commits_checked > 0)
+
+let proc_counts = [ 2; 8; 32 ]
+
+let test_clean_elim_pool () =
+  List.iter
+    (fun procs ->
+      audit
+        (Printf.sprintf "Elim_pool procs=%d" procs)
+        (fun () ->
+          let pool = Pool.create ~capacity:procs ~width:4 () in
+          ignore
+            (run ~procs (fun p ->
+                 for i = 1 to 20 do
+                   Pool.enqueue pool ((p * 100) + i);
+                   match Pool.dequeue ~stop:(fun () -> false) pool with
+                   | Some _ -> ()
+                   | None -> Alcotest.fail "dequeue failed under P2"
+                 done))))
+    proc_counts
+
+let test_clean_elim_stack () =
+  List.iter
+    (fun procs ->
+      audit
+        (Printf.sprintf "Elim_stack procs=%d" procs)
+        (fun () ->
+          let stack = Stack.create ~capacity:procs ~width:4 () in
+          ignore
+            (run ~procs (fun p ->
+                 for i = 1 to 20 do
+                   Stack.push stack ((p * 100) + i);
+                   match Stack.pop ~stop:(fun () -> false) stack with
+                   | Some _ -> ()
+                   | None -> Alcotest.fail "pop failed under P2"
+                 done))))
+    proc_counts
+
+let test_clean_inc_dec_counter () =
+  List.iter
+    (fun procs ->
+      audit
+        (Printf.sprintf "IncDecCounter procs=%d" procs)
+        (fun () ->
+          let idc = Idc.create ~capacity:procs ~width:4 () in
+          ignore
+            (run ~procs (fun _ ->
+                 for _ = 1 to 20 do
+                   ignore (Idc.increment idc);
+                   ignore (Idc.decrement idc)
+                 done))))
+    proc_counts
+
+let test_clean_contended_faa () =
+  (* Scheduler self-check: heavy RMW contention on one location must
+     produce back-to-back, never overlapping, service windows. *)
+  audit "contended fetch&add" (fun () ->
+      let c = M.cell 0 in
+      ignore
+        (run ~procs:16 (fun _ ->
+             for _ = 1 to 50 do
+               ignore (E.fetch_and_add c 1)
+             done));
+      check_int "counter total" (16 * 50) c.M.v)
+
+(* ------------------------------------------------------------------ *)
+(* Lint: golden fixture                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_lint_golden () =
+  let got = Lint.report (Lint.scan_file "fixtures/bad_discipline.ml") in
+  let expected = read_file "fixtures/bad_discipline.expected" in
+  Alcotest.(check string) "golden lint report" expected got
+
+let test_lint_clean_file_parses_clean () =
+  (* The fixture aside, a pure module must produce no violations; use
+     this very test's pure sibling data as the subject. *)
+  let path = Filename.temp_file "clean" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)\n\
+         let xs = List.map fib [ 1; 2; 3 ]\n";
+      close_out oc;
+      check_int "no violations" 0 (List.length (Lint.scan_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* Lint: allowlist semantics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let violation file rule =
+  { Lint.file; line = 1; col = 0; rule; message = "m" }
+
+let test_allowlist_apply () =
+  let allows =
+    [
+      { Lint.path = "lib/core/foo.ml"; allowed = Lint.Ref_cell };
+      { Lint.path = "lib/core/bar.ml"; allowed = Lint.Setfield };
+    ]
+  in
+  let vs =
+    [
+      violation "lib/core/foo.ml" Lint.Ref_cell;    (* suppressed *)
+      violation "lib/core/foo.ml" Lint.Setfield;    (* kept: rule differs *)
+      violation "lib/core/baz.ml" Lint.Ref_cell;    (* kept: path differs *)
+    ]
+  in
+  let kept, suppressed, unused = Lint.apply_allowlist allows vs in
+  check_int "kept" 2 (List.length kept);
+  check_int "suppressed" 1 (List.length suppressed);
+  check_int "unused entries" 1 (List.length unused)
+
+let test_allowlist_suffix_matching () =
+  let allows = [ { Lint.path = "core/foo.ml"; allowed = Lint.Ref_cell } ] in
+  let hit, _, _ =
+    Lint.apply_allowlist allows [ violation "lib/core/foo.ml" Lint.Ref_cell ]
+  in
+  check_int "suffix with / boundary matches" 0 (List.length hit);
+  let miss, _, _ =
+    Lint.apply_allowlist allows [ violation "lib/score/foo.ml" Lint.Ref_cell ]
+  in
+  check_int "non-boundary suffix does not match" 1 (List.length miss)
+
+let test_allowlist_load () =
+  let path = Filename.temp_file "allow" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "# a comment\n\nlib/core/foo.ml ref\nlib/sync/bar.ml mutable-field\n";
+      close_out oc;
+      let allows = Lint.load_allowlist path in
+      check_int "entries parsed" 2 (List.length allows))
+
+let test_allowlist_load_rejects_junk () =
+  let path = Filename.temp_file "allow" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "lib/core/foo.ml not-a-rule\n";
+      close_out oc;
+      match Lint.load_allowlist path with
+      | _ -> Alcotest.fail "malformed allowlist accepted"
+      | exception Lint.Parse_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "race-detector",
+        [
+          Alcotest.test_case "raw write seen by readers" `Quick
+            test_raw_write_seen_by_readers;
+          Alcotest.test_case "raw write seen at commit" `Quick
+            test_raw_write_seen_at_commit;
+          Alcotest.test_case "raw writes dedup per location" `Quick
+            test_raw_write_dedup_per_location;
+          Alcotest.test_case "strict-read promotion" `Quick
+            test_strict_reads_promotion;
+          Alcotest.test_case "tracer restored after run" `Quick
+            test_nested_runs_restore_tracer;
+        ] );
+      ( "clean-structures",
+        [
+          Alcotest.test_case "elimination pool" `Quick test_clean_elim_pool;
+          Alcotest.test_case "elimination stack" `Quick test_clean_elim_stack;
+          Alcotest.test_case "inc-dec counter" `Quick
+            test_clean_inc_dec_counter;
+          Alcotest.test_case "contended fetch&add" `Quick
+            test_clean_contended_faa;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "golden fixture" `Quick test_lint_golden;
+          Alcotest.test_case "clean file" `Quick
+            test_lint_clean_file_parses_clean;
+          Alcotest.test_case "allowlist apply" `Quick test_allowlist_apply;
+          Alcotest.test_case "allowlist suffix matching" `Quick
+            test_allowlist_suffix_matching;
+          Alcotest.test_case "allowlist load" `Quick test_allowlist_load;
+          Alcotest.test_case "allowlist rejects junk" `Quick
+            test_allowlist_load_rejects_junk;
+        ] );
+    ]

@@ -814,6 +814,58 @@ let test_tree_width_one () =
   in
   ()
 
+(* ------------------------------------------------------------------ *)
+(* Capacity validation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid_arg ~substring f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument mentioning %S" substring
+  | exception Invalid_argument msg ->
+      check_bool
+        (Printf.sprintf "message %S mentions %S" msg substring)
+        true
+        (let sub_len = String.length substring in
+         let rec scan i =
+           i + sub_len <= String.length msg
+           && (String.sub msg i sub_len = substring || scan (i + 1))
+         in
+         scan 0)
+
+let test_capacity_nonpositive_rejected () =
+  expect_invalid_arg ~substring:"capacity" (fun () ->
+      Pool.create ~capacity:0 ~width:4 ());
+  expect_invalid_arg ~substring:"capacity" (fun () ->
+      Stack.create ~capacity:(-1) ~width:4 ())
+
+let test_capacity_below_procs_rejected_at_create () =
+  (* Created inside a run, the structure knows how many processors may
+     traverse it and must refuse an announcement array they overflow. *)
+  let _ =
+    run ~procs:6 (fun p ->
+        if p = 0 then
+          expect_invalid_arg ~substring:"capacity" (fun () ->
+              Pool.create ~capacity:4 ~width:4 ()))
+  in
+  ()
+
+let test_capacity_exceeded_at_traverse () =
+  (* Created outside any run, the check falls to the first traversal by
+     an out-of-range processor. *)
+  let tree = Tree.create ~capacity:2 (Core.Tree_config.etree 4) in
+  let oob = Sim.Engine.cell 0 in
+  let _ =
+    run ~procs:4 (fun p ->
+        if p < 2 then
+          match Tree.traverse tree ~kind:Token ~value:None with
+          | Tree.Leaf _ | Tree.Eliminated _ -> ()
+        else
+          expect_invalid_arg ~substring:"capacity" (fun () ->
+              ignore (Tree.traverse tree ~kind:Token ~value:None));
+        if p >= 2 then ignore (Sim.Engine.fetch_and_add oob 1))
+  in
+  check_int "both out-of-range processors were refused" 2 oob.Sim.Memory.v
+
 let () =
   Alcotest.run "core"
     [
@@ -898,5 +950,14 @@ let () =
           Alcotest.test_case "kind utilities" `Quick test_kind_utilities;
           Alcotest.test_case "tree diagnostics (sequential)" `Quick
             test_tree_diagnostics_sequential;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "non-positive rejected" `Quick
+            test_capacity_nonpositive_rejected;
+          Alcotest.test_case "below procs rejected at create" `Quick
+            test_capacity_below_procs_rejected_at_create;
+          Alcotest.test_case "exceeded at traverse" `Quick
+            test_capacity_exceeded_at_traverse;
         ] );
     ]

@@ -7,9 +7,10 @@
      dune exec bench/main.exe -- --quick all  -- reduced scale
      dune exec bench/main.exe -- --full all   -- the paper's 10^6 cycles
 
-   Experiments: fig7 fig8 table1 fig9 fig10 ablate extra native all
+   Experiments: fig7 fig8 table1 fig9 fig10 chaos ablate extra native all
    (see DESIGN.md §3 for the experiment index, EXPERIMENTS.md for
-   paper-vs-measured). *)
+   paper-vs-measured).  With [--json], experiments that support it also
+   write machine-readable BENCH_<experiment>.json point files. *)
 
 module W = Workloads
 module R = W.Report
@@ -37,6 +38,27 @@ let progress fmt =
 
 let method_name make = (make ~procs:2).W.Pool_obj.name
 let counter_name make = (make ~procs:2).W.Pool_obj.cname
+
+(* --json: machine-readable BENCH_<experiment>.json next to the text
+   tables. *)
+let json_flag = ref false
+
+let emit_json ~experiment points =
+  if !json_flag then begin
+    let file = Printf.sprintf "BENCH_%s.json" experiment in
+    R.write_json ~file
+      (R.Obj [ ("experiment", R.Str experiment); ("points", R.Arr points) ]);
+    progress "wrote %s" file
+  end
+
+let mem_fields (s : Sim.stats) =
+  [
+    ("reads", R.Int s.Sim.reads);
+    ("writes", R.Int s.Sim.writes);
+    ("rmws", R.Int s.Sim.rmws);
+    ("events", R.Int s.Sim.events_fired);
+    ("end_clock", R.Int s.Sim.end_clock);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Figures 7 and 8: produce-consume                                    *)
@@ -85,23 +107,55 @@ let produce_consume_tables ~scale ~workload =
          (row_of (fun p -> R.float1 p.W.Produce_consume.latency))
          scale.counts)
   in
-  throughput ^ "\n" ^ latency
+  let json =
+    List.concat
+      (List.map2
+         (fun make points ->
+           let name = method_name make in
+           List.map
+             (fun (p : W.Produce_consume.point) ->
+               R.Obj
+                 ([
+                    ("method", R.Str name);
+                    ("workload", R.Int workload);
+                    ("procs", R.Int p.W.Produce_consume.procs);
+                    ( "throughput_per_m",
+                      R.Int p.W.Produce_consume.throughput_per_m );
+                    ("latency", R.Float p.W.Produce_consume.latency);
+                    ("ops", R.Int p.W.Produce_consume.ops);
+                    ( "elim_rate",
+                      R.opt
+                        (fun r -> R.Float r)
+                        p.W.Produce_consume.elim_rate );
+                  ]
+                 @ mem_fields p.W.Produce_consume.mem))
+             points)
+         methods series)
+  in
+  (throughput ^ "\n" ^ latency, json)
 
 let fig7 scale =
   print_string "== Figure 7: produce-consume, Workload = 0 ==\n\n";
-  print_string (produce_consume_tables ~scale ~workload:0);
-  print_newline ()
+  let text, json = produce_consume_tables ~scale ~workload:0 in
+  print_string text;
+  print_newline ();
+  emit_json ~experiment:"fig7" json
 
 let fig8 scale =
   print_string "== Figure 8: produce-consume, Workload > 0 ==\n";
   print_string
     "(the paper's exact non-zero workload constants are illegible in the\n\
     \ available text; 1000/4000/16000 preserve the reported regimes)\n\n";
-  List.iter
-    (fun workload ->
-      print_string (produce_consume_tables ~scale ~workload);
-      print_newline ())
-    [ 1_000; 4_000; 16_000 ]
+  let json =
+    List.concat_map
+      (fun workload ->
+        let text, json = produce_consume_tables ~scale ~workload in
+        print_string text;
+        print_newline ();
+        json)
+      [ 1_000; 4_000; 16_000 ]
+  in
+  emit_json ~experiment:"fig8" json
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: elimination fractions per level                            *)
@@ -163,7 +217,23 @@ let fig9 scale =
   print_string
     (R.table ~title:"Throughput (fetch&inc per 10^6 cycles)"
        ~row_label:"procs" ~columns rows);
-  print_newline ()
+  print_newline ();
+  emit_json ~experiment:"fig9"
+    (List.concat
+       (List.map2
+          (fun make points ->
+            let name = counter_name make in
+            List.map
+              (fun (p : W.Counting.point) ->
+                R.Obj
+                  ([
+                     ("method", R.Str name);
+                     ("procs", R.Int p.W.Counting.procs);
+                     ("throughput_per_m", R.Int p.W.Counting.throughput_per_m);
+                   ]
+                  @ mem_fields p.W.Counting.mem))
+              points)
+          methods series))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: 10-queens and response time                              *)
@@ -196,6 +266,24 @@ let fig10 scale =
     (R.table ~title:"Elapsed cycles until all 1110 tasks consumed"
        ~row_label:"procs" ~columns rows);
   print_newline ();
+  let queens_json =
+    List.concat
+      (List.map2
+         (fun make points ->
+           let name = method_name make in
+           List.map
+             (fun (p : W.Queens.point) ->
+               R.Obj
+                 [
+                   ("kind", R.Str "queens");
+                   ("method", R.Str name);
+                   ("procs", R.Int p.W.Queens.procs);
+                   ("elapsed", R.Int p.W.Queens.elapsed);
+                   ("consumed", R.Int p.W.Queens.consumed);
+                 ])
+             points)
+         methods series)
+  in
   print_string "== Figure 10 (right): response time (sparse handoff) ==\n\n";
   let rt_counts = List.filter (fun n -> n mod 2 = 0) scale.counts in
   let series =
@@ -226,7 +314,127 @@ let fig10 scale =
             "Elapsed time until %d elements consumed, normalized per dequeue"
             scale.rt_total)
        ~row_label:"procs" ~columns rows);
-  print_newline ()
+  print_newline ();
+  emit_json ~experiment:"fig10"
+    (queens_json
+    @ List.concat
+        (List.map2
+           (fun make points ->
+             let name = method_name make in
+             List.map
+               (fun (p : W.Response_time.point) ->
+                 R.Obj
+                   [
+                     ("kind", R.Str "response_time");
+                     ("method", R.Str name);
+                     ("procs", R.Int p.W.Response_time.procs);
+                     ("elapsed", R.Int p.W.Response_time.elapsed);
+                     ("normalized", R.Float p.W.Response_time.normalized);
+                     ("consumed", R.Int p.W.Response_time.consumed);
+                   ])
+               points)
+           methods series))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the etrees.faults robustness sweep                           *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_point_json ~level ~label (p : W.Chaos.point) =
+  R.Obj
+    ([
+       ("method", R.Str p.W.Chaos.method_name);
+       ("procs", R.Int p.W.Chaos.procs);
+       ("fault_level", R.Int level);
+       ("fault_label", R.Str label);
+       ("plan", R.Str p.W.Chaos.plan);
+       ("throughput_per_m", R.Int p.W.Chaos.throughput_per_m);
+       ("latency", R.Float p.W.Chaos.latency);
+       ("ops", R.Int p.W.Chaos.ops);
+       ("started", R.Int p.W.Chaos.started);
+       ("elim_rate", R.opt (fun r -> R.Float r) p.W.Chaos.elim_rate);
+       ("starved", R.Int p.W.Chaos.starved);
+       ("crashed", R.Int p.W.Chaos.crashed);
+       ("stuck", R.Int p.W.Chaos.stuck);
+       ( "conservation_ok",
+         R.Bool p.W.Chaos.conservation.Analysis.Conservation.ok );
+       ( "conservation",
+         R.Str p.W.Chaos.conservation.Analysis.Conservation.detail );
+       ( "termination_ok",
+         R.Bool p.W.Chaos.termination.Faults.Termination.ok );
+       ( "termination",
+         R.Str (Faults.Termination.format p.W.Chaos.termination) );
+     ]
+    @ mem_fields p.W.Chaos.mem)
+
+let chaos scale =
+  print_string
+    "== Chaos: degradation under deterministic fault plans (etrees.faults) \
+     ==\n\n";
+  let procs = 64 and fault_seed = 7 in
+  progress "chaos: procs=%d fault-seed=%d" procs fault_seed;
+  let levels =
+    W.Chaos.sweep ~fault_seed ~horizon:scale.horizon ~procs ()
+  in
+  List.iter
+    (fun (level, label, points) ->
+      Printf.printf "-- fault level %d (%s) --\n" level label;
+      (match points with
+      | p :: _ -> Printf.printf "plan: %s\n" p.W.Chaos.plan
+      | [] -> ());
+      List.iter (fun p -> print_endline (W.Chaos.format_point p)) points;
+      print_newline ())
+    levels;
+  let columns = List.map (fun (_, label, _) -> label) levels in
+  let methods =
+    match levels with
+    | (_, _, points) :: _ ->
+        List.map (fun p -> p.W.Chaos.method_name) points
+    | [] -> []
+  in
+  let cell f name (_, _, points) =
+    let p =
+      List.find (fun p -> p.W.Chaos.method_name = name) points
+    in
+    f p
+  in
+  print_string
+    (R.table ~title:"Throughput (ops per 10^6 cycles) vs fault level"
+       ~row_label:"method" ~columns
+       (List.map
+          (fun name ->
+            ( name,
+              List.map
+                (cell (fun p -> R.int_ p.W.Chaos.throughput_per_m) name)
+                levels ))
+          methods));
+  print_newline ();
+  print_string
+    (R.table
+       ~title:
+         "Verdicts (conservation / termination bound; see docs/FAULTS.md)"
+       ~row_label:"method" ~columns
+       (List.map
+          (fun name ->
+            ( name,
+              List.map
+                (cell
+                   (fun p ->
+                     Printf.sprintf "%s/%s"
+                       (if p.W.Chaos.conservation.Analysis.Conservation.ok
+                        then "PASS"
+                        else "FAIL")
+                       (if p.W.Chaos.termination.Faults.Termination.ok then
+                          "PASS"
+                        else "FAIL"))
+                   name)
+                levels ))
+          methods));
+  print_newline ();
+  emit_json ~experiment:"chaos"
+    (List.concat_map
+       (fun (level, label, points) ->
+         List.map (chaos_point_json ~level ~label) points)
+       levels)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (extensions; see EXPERIMENTS.md)                          *)
@@ -581,6 +789,9 @@ let () =
     | "--horizon" :: n :: rest ->
         horizon_override := Some (int_of_string n);
         parse rest
+    | "--json" :: rest ->
+        json_flag := true;
+        parse rest
     | x :: rest ->
         picked := x :: !picked;
         parse rest
@@ -600,6 +811,7 @@ let () =
   if want "table1" then table1 scale;
   if want "fig9" then fig9 scale;
   if want "fig10" then fig10 scale;
+  if want "chaos" then chaos scale;
   if want "ablate" then ablate scale;
   if want "extra" then begin
     width_sweep scale;

@@ -5,39 +5,17 @@
      dune exec bin/etrees_run.exe -- count --procs 256 --method dtree32
      dune exec bin/etrees_run.exe -- queens --procs 32 --method rsu
      dune exec bin/etrees_run.exe -- response --procs 16 --total 640
-     dune exec bin/etrees_run.exe -- table1 --procs 256 *)
+     dune exec bin/etrees_run.exe -- table1 --procs 256
+     dune exec bin/etrees_run.exe -- chaos --procs 64 --stall 8x2000 \
+       --fault-seed 7 *)
 
 open Cmdliner
 module W = Workloads
 
-let pool_methods =
-  [
-    ("etree", fun ~procs -> W.Methods.etree_pool ~procs ());
-    ("etree64", fun ~procs -> W.Methods.etree_pool ~width:64 ~procs ());
-    ("estack", fun ~procs -> W.Methods.estack_pool ~procs ());
-    ("mcs", fun ~procs -> W.Methods.mcs_pool ~procs ());
-    ("ctree", fun ~procs -> W.Methods.ctree_pool ~procs ());
-    ("ctree256", fun ~procs -> W.Methods.ctree_pool ~tree_procs:256 ~procs ());
-    ("dtree32", fun ~procs -> W.Methods.dtree_pool ~procs ());
-    ("rsu", fun ~procs -> W.Methods.rsu_pool ~procs ());
-    ("worksteal", fun ~procs -> W.Methods.ws_pool ~procs ());
-    ("ebstack", fun ~procs -> W.Methods.eb_stack_pool ~procs ());
-    ("treiber", fun ~procs -> W.Methods.treiber_pool ~procs ());
-    ("etree-noelim", fun ~procs -> W.Methods.etree_pool_no_elim ~procs ());
-    ("etree-1prism", fun ~procs -> W.Methods.etree_pool_single_prism ~procs ());
-  ]
-
-let counter_methods =
-  let open W.Methods in
-  [
-    ("mcs", List.nth counting_methods 1);
-    ("ctree", List.nth counting_methods 2);
-    ("dtree32", List.nth counting_methods 3);
-    ("dtree64", List.nth counting_methods 4);
-    ("dtree32multi", List.nth counting_methods 0);
-    ("faa", naive_counter);
-    ("bitonic", fun ~procs -> bitonic_counter ~procs ());
-  ]
+(* The method name -> constructor maps live in W.Methods so the bench
+   harness and this driver agree on them. *)
+let pool_methods = W.Methods.pool_registry
+let counter_methods = W.Methods.counter_registry
 
 (* Common options *)
 let procs_t =
@@ -160,9 +138,132 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Per-level elimination fractions (Table 1).")
     Term.(const run $ procs_t $ seed_t $ horizon_t)
 
+(* chaos: robustness under deterministic fault plans (etrees.faults) *)
+let chaos_cmd =
+  let pair_conv what =
+    let parse s =
+      match Faults.Fault_plan.parse_pair s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg (Printf.sprintf "%s: %s" what e))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt (a, b) -> Format.fprintf fmt "%dx%d" a b )
+  in
+  let fault_seed_t =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ]
+          ~doc:"Seed deriving fault placement (independent of --seed).")
+  in
+  let stall_t =
+    Arg.(
+      value
+      & opt (some (pair_conv "--stall")) None
+      & info [ "stall" ] ~docv:"NxCYCLES"
+          ~doc:"Inject $(docv): N processor stalls of CYCLES cycles each.")
+  in
+  let crash_t =
+    Arg.(
+      value & opt int 0
+      & info [ "crash" ] ~docv:"N" ~doc:"Crash-stop $(docv) processors.")
+  in
+  let hotspot_t =
+    Arg.(
+      value
+      & opt (some (pair_conv "--hotspot")) None
+      & info [ "hotspot" ] ~docv:"FACTORxDEN"
+          ~doc:
+            "Slow 1/DEN of all memory locations by FACTOR for the middle \
+             half of the run.")
+  in
+  let jitter_t =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter" ] ~docv:"AMP"
+          ~doc:"Lengthen local delays by a hash-derived amount in [0,AMP].")
+  in
+  let method_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "m"; "method" ]
+          ~doc:
+            (Printf.sprintf "Single pool method to test (default: %s)."
+               (String.concat ", " W.Chaos.default_methods)))
+  in
+  let run procs seed horizon fault_seed stall crash hotspot jitter meth =
+    let methods =
+      match meth with
+      | None -> W.Chaos.default_methods
+      | Some m when List.mem_assoc m pool_methods -> [ m ]
+      | Some m ->
+          Printf.eprintf "unknown method %S (expected one of: %s)\n" m
+            (String.concat ", " (List.map fst pool_methods));
+          exit 2
+    in
+    let plan =
+      Faults.Fault_plan.of_flags ~fault_seed ~procs ~horizon ~stall ~crash
+        ~hotspot ~jitter
+    in
+    if Faults.Fault_plan.is_none plan then begin
+      (* No fault flags: run the full degradation ladder. *)
+      Printf.printf
+        "chaos ladder: procs=%d seed=%d horizon=%d fault-seed=%d\n\n" procs
+        seed horizon fault_seed;
+      List.iter
+        (fun (level, label, points) ->
+          Printf.printf "-- fault level %d (%s) --\n" level label;
+          (match points with
+          | p :: _ -> Printf.printf "plan: %s\n" p.W.Chaos.plan
+          | [] -> ());
+          List.iter (fun p -> print_endline (W.Chaos.format_point p)) points;
+          print_newline ())
+        (W.Chaos.sweep ~seed ~fault_seed ~horizon ~methods ~procs ())
+    end
+    else begin
+      Printf.printf "chaos: procs=%d seed=%d horizon=%d\nplan: %s\n\n" procs
+        seed horizon
+        (Faults.Fault_plan.describe plan);
+      List.iter
+        (fun name ->
+          let make = List.assoc name pool_methods in
+          let base =
+            W.Chaos.run ~seed ~horizon ~plan:Faults.Fault_plan.none ~procs
+              make
+          in
+          let faulted = W.Chaos.run ~seed ~horizon ~plan ~procs make in
+          let delta =
+            if base.W.Chaos.throughput_per_m = 0 then 0.0
+            else
+              100.0
+              *. float_of_int
+                   (faulted.W.Chaos.throughput_per_m
+                   - base.W.Chaos.throughput_per_m)
+              /. float_of_int base.W.Chaos.throughput_per_m
+          in
+          Printf.printf "baseline %s\nfaulted  %s\ndegradation %+.1f%%\n\n"
+            (W.Chaos.format_point base)
+            (W.Chaos.format_point faulted)
+            delta)
+        methods
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Robustness under deterministic fault plans (stalls, crashes, hot \
+          spots, jitter); reports per-method degradation plus conservation \
+          and termination-bound verdicts.  Without fault flags, runs the \
+          fault-intensity ladder.")
+    Term.(
+      const run $ procs_t $ seed_t $ horizon_t $ fault_seed_t $ stall_t
+      $ crash_t $ hotspot_t $ jitter_t $ method_t)
+
 let () =
   let doc = "Elimination-tree experiments on the multiprocessor simulator." in
   let info = Cmd.info "etrees_run" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ pc_cmd; count_cmd; queens_cmd; response_cmd; table1_cmd ]))
+       (Cmd.group info
+          [ pc_cmd; count_cmd; queens_cmd; response_cmd; table1_cmd; chaos_cmd ]))

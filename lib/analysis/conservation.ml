@@ -1,0 +1,70 @@
+(* Post-run conservation audit: see the .mli for the exact claim.  Pure
+   list/arithmetic processing of a workload's op ledger — nothing here
+   touches the simulator. *)
+
+type input = {
+  enq_started : int;
+  enq_completed : int;
+  dequeued : int;
+  duplicates : int;
+  phantoms : int;
+  residue : int option;
+  in_flight : int;
+}
+
+type report = {
+  ok : bool;
+  lost : int option;
+  detail : string;
+  input : input;
+}
+
+let audit input =
+  let safety_ok = input.duplicates = 0 && input.phantoms = 0 in
+  let lost =
+    match input.residue with
+    | Some residue -> Some (input.enq_completed - input.dequeued - residue)
+    | None -> None
+  in
+  let accounting_ok =
+    match lost with
+    | Some lost -> abs lost <= input.in_flight
+    | None -> true
+  in
+  let ok = safety_ok && accounting_ok in
+  let detail =
+    let base =
+      Printf.sprintf "%s (enq %d/%d, deq %d" (if ok then "PASS" else "FAIL")
+        input.enq_completed input.enq_started input.dequeued
+    in
+    let residue_part =
+      match (input.residue, lost) with
+      | Some r, Some l ->
+          Printf.sprintf ", residue %d, lost %d <= in-flight %d" r l
+            input.in_flight
+      | _ -> ", residue unknown"
+    in
+    let bad =
+      (if input.duplicates > 0 then
+         [ Printf.sprintf "%d DUPLICATED" input.duplicates ]
+       else [])
+      @
+      if input.phantoms > 0 then
+        [ Printf.sprintf "%d PHANTOM" input.phantoms ]
+      else []
+    in
+    base ^ residue_part
+    ^ (if bad = [] then "" else ", " ^ String.concat ", " bad)
+    ^ ")"
+  in
+  { ok; lost; detail; input }
+
+let check_values ~enq_started dequeued =
+  let seen = Hashtbl.create (List.length dequeued) in
+  List.fold_left
+    (fun (dups, phantoms) v ->
+      let dups = if Hashtbl.mem seen v then dups + 1 else dups in
+      Hashtbl.replace seen v ();
+      let phantoms = if enq_started v then phantoms else phantoms + 1 in
+      (dups, phantoms))
+    (0, 0) dequeued

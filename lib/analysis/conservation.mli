@@ -1,0 +1,44 @@
+(** Post-run conservation audit (etrees.faults integration): no element
+    is lost or duplicated by a pool, under any fault plan.
+
+    The audit works on the workload's own ledger of a run — which
+    values were handed to [enqueue] (started), which [enqueue] calls
+    returned (completed), and which values [dequeue] returned — plus
+    the structure's residue (elements still buffered) when it can
+    report one, probed quiescently after the run.
+
+    Safety half (always checked): no value is dequeued twice, and no
+    value is dequeued that was never handed to an enqueue.
+
+    Accounting half (checked when [residue] is known): completed
+    enqueues = dequeues + residue, up to a slack of [in_flight] — the
+    processors that died mid-operation (crash-stopped or aborted),
+    each of which may strand its one in-flight element (op started,
+    never completed, value possibly already in the structure — or the
+    converse).  Fault-free runs have [in_flight = 0], so the equation
+    must hold exactly. *)
+
+type input = {
+  enq_started : int;    (** enqueue calls issued *)
+  enq_completed : int;  (** enqueue calls that returned *)
+  dequeued : int;       (** values returned by dequeues *)
+  duplicates : int;     (** values returned by more than one dequeue *)
+  phantoms : int;       (** dequeued values never handed to an enqueue *)
+  residue : int option; (** elements left buffered; [None] = structure
+                            cannot report *)
+  in_flight : int;      (** crashed + aborted processors *)
+}
+
+type report = {
+  ok : bool;
+  lost : int option;  (** completed - dequeued - residue, when known *)
+  detail : string;    (** stable one-line rendering *)
+  input : input;
+}
+
+val audit : input -> report
+
+val check_values : enq_started:(int -> bool) -> int list -> int * int
+(** [check_values ~enq_started dequeued] returns [(duplicates,
+    phantoms)] over the dequeued-value list; [enq_started v] says
+    whether [v] was ever handed to an enqueue. *)

@@ -37,6 +37,14 @@ module Make (E : Engine.S) = struct
     in
     attempt ()
 
+  (* Occupied slots; exact when quiescent (engine-level reads: call
+     inside a simulator run). *)
+  let residue t =
+    Array.fold_left
+      (fun acc slot ->
+        match E.get slot with Some _ -> acc + 1 | None -> acc)
+      0 t.slots
+
   let dequeue ?(stop = fun () -> false) t =
     let i = Sync.Counter.fetch_and_inc t.tail mod Array.length t.slots in
     let slot = t.slots.(i) in

@@ -21,4 +21,8 @@ module Make (E : Engine.S) : sig
 
   val dequeue : ?stop:(unit -> bool) -> 'v t -> 'v option
   (** Waits (polling) for its slot to fill; [stop] bounds the wait. *)
+
+  val residue : 'v t -> int
+  (** Occupied slots; exact when quiescent (engine-level reads: call
+      inside a simulator run). *)
 end

@@ -1,0 +1,24 @@
+(** etrees.faults — deterministic fault injection and robustness
+    verdicts for the simulator.
+
+    The paper's headline results are robustness claims: a pool
+    operation terminates within O(log w) balancer steps no matter what
+    every other processor does (§1, Theorem 2.2), and elimination trees
+    tolerate the timing variance that collapses centralized structures.
+    This library makes those claims testable instead of asserted:
+
+    - {!Fault_plan} — pure, seed-derived schedules of processor stalls,
+      crash-stops, memory hot spots / latency spikes, and delay jitter,
+      compiled into [Sim.Scheduler] hooks; the same [(seed, plan)]
+      always replays the identical execution;
+    - {!Inject} — [Sim.run] under a plan;
+    - {!Termination} — the termination-bound checker turning a
+      run-under-fault into a pass/fail verdict.
+
+    The matching workload is [Workloads.Chaos]; the conservation audit
+    it applies afterwards is [Analysis.Conservation].  See
+    docs/FAULTS.md. *)
+
+module Fault_plan = Fault_plan
+module Inject = Inject
+module Termination = Termination

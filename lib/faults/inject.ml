@@ -1,0 +1,8 @@
+(* Running simulations under a fault plan: compile the plan once and
+   hand it to the scheduler as its injector. *)
+
+let run ?seed ?config ?abort_after ~plan ~procs body =
+  if Fault_plan.is_none plan then Sim.run ?seed ?config ?abort_after ~procs body
+  else
+    let injector = Fault_plan.injector plan in
+    Sim.run ?seed ?config ?abort_after ~injector ~procs body

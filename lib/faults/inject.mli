@@ -1,0 +1,15 @@
+(** Running simulations under a fault plan. *)
+
+val run :
+  ?seed:int ->
+  ?config:Sim.Memory.config ->
+  ?abort_after:int ->
+  plan:Fault_plan.t ->
+  procs:int ->
+  (int -> unit) ->
+  Sim.stats
+(** [run ~plan ~procs body] is [Sim.run] with [plan] compiled and
+    installed as the scheduler's fault injector (a fault-free fast path
+    is used when the plan is {!Fault_plan.none}).  Deterministic in
+    [(seed, config, plan)].  Crash-stopped processors are reported in
+    [stats.crashed_procs]; they are {e not} counted as aborted. *)

@@ -1,0 +1,34 @@
+(* The termination-bound checker: aggregate O(log w) balancer-step
+   bound plus liveness of non-crashed processors.  See the .mli and
+   docs/FAULTS.md for exactly what is (and is not) being claimed. *)
+
+type verdict = {
+  ok : bool;
+  live_ok : bool;
+  visits_ok : bool;
+  depth : int;
+  mean_visits : float;
+  stuck : int;
+}
+
+let check ?levels ?entries ~started ~stuck () =
+  let live_ok = stuck = 0 in
+  let depth = match levels with Some d -> d | None -> 0 in
+  let visits_ok, mean_visits =
+    match (levels, entries) with
+    | Some depth, Some entries when started > 0 ->
+        ( entries <= started * depth,
+          float_of_int entries /. float_of_int started )
+    | Some _, Some entries -> (entries = 0, if entries = 0 then 0.0 else -1.0)
+    | _ -> (true, -1.0)
+  in
+  { ok = live_ok && visits_ok; live_ok; visits_ok; depth; mean_visits; stuck }
+
+let format v =
+  let verdict = if v.ok then "PASS" else "FAIL" in
+  if v.depth > 0 then
+    Printf.sprintf "%s (depth %d, %.2f visits/op <= %d%s, stuck %d)" verdict
+      v.depth v.mean_visits v.depth
+      (if v.visits_ok then "" else " VIOLATED")
+      v.stuck
+  else Printf.sprintf "%s (no balancer tree, stuck %d)" verdict v.stuck

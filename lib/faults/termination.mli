@@ -1,0 +1,43 @@
+(** The termination-bound checker (paper §1, Theorem 2.2 / §2.5): a
+    pool operation on a width-[w] elimination tree traverses at most
+    [log2 w] balancers {e regardless of the behaviour of every other
+    processor} — stalled mid-prism, crashed, or arbitrarily slow.
+
+    The checker turns a run-under-fault into a verdict from two
+    observables:
+
+    - {b liveness}: no non-crashed processor was still stuck when the
+      run's (generous) abort horizon fired — delay-tolerance of the
+      structure as a whole;
+    - {b balancer-step bound}: the aggregate form of the O(log w)
+      claim.  Every started operation enters each tree level at most
+      once (there are no retry loops that re-enter a balancer), so
+      total balancer entries never exceed started operations times the
+      tree depth.  A structure that livelocked or bounced requests
+      around under faults would violate the inequality.
+
+    For methods with no balancer tree (MCS, combining trees, …) only
+    the liveness half applies.  See docs/FAULTS.md for how these map to
+    the paper's claims. *)
+
+type verdict = {
+  ok : bool;                (** both checks below hold *)
+  live_ok : bool;           (** no non-crashed processor stuck *)
+  visits_ok : bool;         (** entries <= started * depth (vacuous
+                                without balancer stats) *)
+  depth : int;              (** balancer levels, 0 if no tree *)
+  mean_visits : float;      (** balancer entries per started op, -1 if
+                                no tree *)
+  stuck : int;              (** non-crashed processors aborted *)
+}
+
+val check :
+  ?levels:int -> ?entries:int -> started:int -> stuck:int -> unit -> verdict
+(** [check ~levels ~entries ~started ~stuck ()] — [levels]/[entries]
+    come from the structure's per-level statistics when it has them;
+    [started] counts pool operations issued (completed or not);
+    [stuck] is the run's aborted (not crashed) processor count. *)
+
+val format : verdict -> string
+(** Stable one-line rendering, e.g.
+    ["PASS (depth 5, 3.42 visits/op <= 5, stuck 0)"]. *)

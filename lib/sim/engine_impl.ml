@@ -50,6 +50,7 @@ let get c =
     Effect.perform
       (Scheduler.Immediate
          {
+           loc = Some c.Memory.loc;
            latency = t.config.read_latency;
            run =
              (fun () ->

@@ -96,6 +96,11 @@ let cell v =
       };
   }
 
+(* The allocation watermark.  Ids are process-global, so anything that
+   wants run-stable location identities (the fault injector's hot-spot
+   hashing) must work relative to this. *)
+let loc_count () = !next_loc_id
+
 (* ------------------------------------------------------------------ *)
 (* Analysis hooks                                                      *)
 (* ------------------------------------------------------------------ *)

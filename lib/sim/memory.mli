@@ -54,6 +54,12 @@ val serialized_reads_config : config
 val cell : 'a -> 'a cell
 (** Allocate a fresh location (free of simulated cost). *)
 
+val loc_count : unit -> int
+(** The allocation watermark: locations ever allocated in this
+    process.  Ids grow monotonically across runs, so consumers wanting
+    run-stable identities (e.g. the fault injector's hot-spot hashing)
+    subtract a watermark taken at setup time. *)
+
 (** {1 Analysis hooks (etrees.analysis)} *)
 
 type tracer = {

@@ -25,23 +25,52 @@ type _ Effect.t +=
     }
       -> 'r Effect.t
         (* A write or read-modify-write: queues behind [loc.busy_until]. *)
-  | Immediate : { latency : int; run : unit -> 'r } -> 'r Effect.t
+  | Immediate : {
+      loc : Memory.loc option;
+      latency : int;
+      run : unit -> 'r;
+    }
+      -> 'r Effect.t
         (* A read: fixed latency, no serialization. *)
   | Delay : int -> unit Effect.t  (* local computation / spin-waiting *)
 
-type event = { fire : unit -> unit; abort : unit -> unit }
+type event = { pid : int; fire : unit -> unit; abort : unit -> unit }
+
+(* Fault injection (etrees.faults).  The injector is consulted at three
+   points: before any processor event fires (stall/crash), when a
+   memory operation's service cost is computed (hot spots), and when a
+   [Delay] is issued (jitter).  All hooks must be pure, so that a run
+   remains a deterministic function of (seed, plan). *)
+
+type fault_action = Fault_proceed | Fault_defer of int | Fault_drop
+
+type injector = {
+  on_event : pid:int -> time:int -> fault_action;
+  mem_latency : loc:Memory.loc -> pid:int -> now:int -> base:int -> int;
+  delay_jitter : pid:int -> now:int -> base:int -> int;
+}
+
+let no_injector =
+  {
+    on_event = (fun ~pid:_ ~time:_ -> Fault_proceed);
+    mem_latency = (fun ~loc:_ ~pid:_ ~now:_ ~base -> base);
+    delay_jitter = (fun ~pid:_ ~now:_ ~base:_ -> 0);
+  }
 
 type t = {
   nprocs : int;
   config : Memory.config;
   heap : event Event_heap.t;
   rngs : Engine.Splitmix.t array;
+  injector : injector option;
   mutable clock : int;
   mutable seq : int;
   mutable live : int;
   mutable current : int;
   mutable events_fired : int;
   mutable aborted : int;
+  mutable crashed : int;
+  mutable fault_defers : int;
   mutable op_reads : int;  (* engine-level operation counters *)
   mutable op_writes : int;
   mutable op_rmws : int;
@@ -51,6 +80,8 @@ type stats = {
   end_clock : int;
   events_fired : int;
   aborted_procs : int;
+  crashed_procs : int;
+  fault_defers : int;
   reads : int;
   writes : int;
   rmws : int;
@@ -72,6 +103,15 @@ let schedule t time ev =
   Event_heap.push t.heap ~time ~seq:t.seq ev;
   t.seq <- t.seq + 1
 
+(* Fault-adjusted service cost of a memory operation on [loc] issued
+   now by the current processor. *)
+let faulted_latency t ~loc ~base =
+  match t.injector with
+  | None -> base
+  | Some inj ->
+      let l = inj.mem_latency ~loc ~pid:t.current ~now:t.clock ~base in
+      if l < 1 then 1 else l
+
 let start t p body =
   let open Effect.Deep in
   let handler =
@@ -90,19 +130,35 @@ let start t p body =
               Some
                 (fun (k : (b, _) continuation) ->
                   let n = if n < 1 then 1 else n in
+                  let n =
+                    match t.injector with
+                    | None -> n
+                    | Some inj ->
+                        let j =
+                          inj.delay_jitter ~pid:t.current ~now:t.clock ~base:n
+                        in
+                        if j > 0 then n + j else n
+                  in
                   schedule t (t.clock + n)
                     {
+                      pid = p;
                       fire =
                         (fun () ->
                           t.current <- p;
                           continue k ());
                       abort = (fun () -> discontinue k Aborted);
                     })
-          | Immediate { latency; run } ->
+          | Immediate { loc; latency; run } ->
               Some
                 (fun (k : (b, _) continuation) ->
+                  let latency =
+                    match loc with
+                    | Some loc -> faulted_latency t ~loc ~base:latency
+                    | None -> latency
+                  in
                   schedule t (t.clock + latency)
                     {
+                      pid = p;
                       fire =
                         (fun () ->
                           t.current <- p;
@@ -112,6 +168,7 @@ let start t p body =
           | Serialized { loc; latency; run } ->
               Some
                 (fun (k : (b, _) continuation) ->
+                  let latency = faulted_latency t ~loc ~base:latency in
                   let begins =
                     if loc.Memory.busy_until > t.clock then
                       loc.Memory.busy_until
@@ -131,6 +188,7 @@ let start t p body =
                   loc.Memory.busy_until <- finish;
                   schedule t finish
                     {
+                      pid = p;
                       fire =
                         (fun () ->
                           t.current <- p;
@@ -145,9 +203,14 @@ let start t p body =
 
 (* Run [procs] simulated processors, each executing [body pid], until
    every processor terminates or the clock passes [abort_after] (at which
-   point the remaining processors are unwound with {!Aborted}). *)
+   point the remaining processors are unwound with {!Aborted}).  With an
+   [injector], every processor event is submitted to it first: deferred
+   events are re-queued at the stall's end, and dropped events
+   crash-stop their processor — the parked continuation is discarded
+   without unwinding, so cleanup code never runs and any held lock
+   stays held, which is exactly crash-stop semantics. *)
 let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
-    ~procs body =
+    ?injector ~procs body =
   if procs <= 0 then invalid_arg "Sim.run: procs must be positive";
   let base = Engine.Splitmix.of_int seed in
   let t =
@@ -156,12 +219,15 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
       config;
       heap = Event_heap.create ();
       rngs = Array.init procs (fun i -> Engine.Splitmix.split base ~index:i);
+      injector;
       clock = 0;
       seq = 0;
       live = procs;
       current = 0;
       events_fired = 0;
       aborted = 0;
+      crashed = 0;
+      fault_defers = 0;
       op_reads = 0;
       op_writes = 0;
       op_rmws = 0;
@@ -173,6 +239,7 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
   for p = 0 to procs - 1 do
     schedule t 0
       {
+        pid = p;
         fire = (fun () -> start t p body);
         abort = (fun () -> t.live <- t.live - 1);
       }
@@ -187,9 +254,27 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
           Event_heap.drain t.heap (fun _ _ ev -> ev.abort ())
         end
         else begin
-          t.clock <- time;
-          t.events_fired <- t.events_fired + 1;
-          ev.fire ();
+          let action =
+            match t.injector with
+            | None -> Fault_proceed
+            | Some inj -> inj.on_event ~pid:ev.pid ~time
+          in
+          (match action with
+          | Fault_proceed ->
+              t.clock <- time;
+              t.events_fired <- t.events_fired + 1;
+              ev.fire ()
+          | Fault_defer until ->
+              t.fault_defers <- t.fault_defers + 1;
+              let until = if until <= time then time + 1 else until in
+              schedule t until ev
+          | Fault_drop ->
+              (* Crash-stop: the processor's sole pending event dies and
+                 with it the processor; the continuation is dropped
+                 unresumed, so no cleanup handlers run. *)
+              t.clock <- time;
+              t.live <- t.live - 1;
+              t.crashed <- t.crashed + 1);
           loop ()
         end
   in
@@ -199,6 +284,8 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
     end_clock = t.clock;
     events_fired = t.events_fired;
     aborted_procs = t.aborted;
+    crashed_procs = t.crashed;
+    fault_defers = t.fault_defers;
     reads = t.op_reads;
     writes = t.op_writes;
     rmws = t.op_rmws;

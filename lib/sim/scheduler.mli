@@ -22,23 +22,61 @@ type _ Effect.t +=
     }
       -> 'r Effect.t
         (** a write or RMW: queues behind [loc.busy_until] *)
-  | Immediate : { latency : int; run : unit -> 'r } -> 'r Effect.t
-        (** a read: fixed latency, no serialization *)
+  | Immediate : {
+      loc : Memory.loc option;
+      latency : int;
+      run : unit -> 'r;
+    }
+      -> 'r Effect.t
+        (** a read: fixed latency, no serialization; [loc] identifies
+            the location for fault injection (None = pure pause) *)
   | Delay : int -> unit Effect.t  (** local computation / spin-waiting *)
 
-type event = { fire : unit -> unit; abort : unit -> unit }
+type event = { pid : int; fire : unit -> unit; abort : unit -> unit }
+(** Every event belongs to one simulated processor — [pid] is consulted
+    by the fault injector before the event fires. *)
+
+(** {1 Fault injection (etrees.faults)}
+
+    An {!injector} is the scheduler-side surface of a fault plan (see
+    [Faults.Fault_plan]).  All three hooks must be pure functions of
+    their arguments so that a run under an injector remains a
+    deterministic function of [(seed, plan)]. *)
+
+type fault_action =
+  | Fault_proceed            (** no fault: fire the event now *)
+  | Fault_defer of int       (** processor stalled: refire at this time *)
+  | Fault_drop               (** crash-stop: the event (and with it the
+                                 processor) is silently discarded *)
+
+type injector = {
+  on_event : pid:int -> time:int -> fault_action;
+      (** consulted every time one of [pid]'s events is about to fire *)
+  mem_latency : loc:Memory.loc -> pid:int -> now:int -> base:int -> int;
+      (** service-cost multiplier hook (hot spots, latency spikes);
+          must return [>= base >= 1]'s spirit — values [< 1] are
+          clamped to 1 *)
+  delay_jitter : pid:int -> now:int -> base:int -> int;
+      (** extra cycles added to a [Delay base] issued at [now] *)
+}
+
+val no_injector : injector
+(** The identity injector: proceeds, never scales, never jitters. *)
 
 type t = {
   nprocs : int;
   config : Memory.config;
   heap : event Event_heap.t;
   rngs : Engine.Splitmix.t array;
+  injector : injector option;
   mutable clock : int;
   mutable seq : int;
   mutable live : int;
   mutable current : int; (** pid of the processor now executing *)
   mutable events_fired : int;
   mutable aborted : int;
+  mutable crashed : int;      (** processors crash-stopped by the injector *)
+  mutable fault_defers : int; (** events postponed by stalls *)
   mutable op_reads : int;  (** engine-level operation counters *)
   mutable op_writes : int;
   mutable op_rmws : int;
@@ -48,6 +86,8 @@ type stats = {
   end_clock : int;
   events_fired : int;
   aborted_procs : int;
+  crashed_procs : int;  (** crash-stopped by the fault injector *)
+  fault_defers : int;   (** events postponed by injected stalls *)
   reads : int;   (** atomic reads issued *)
   writes : int;  (** atomic writes issued *)
   rmws : int;    (** swaps / CASes / fetch&adds issued *)
@@ -60,6 +100,7 @@ val run :
   ?seed:int ->
   ?config:Memory.config ->
   ?abort_after:int ->
+  ?injector:injector ->
   procs:int ->
   (int -> unit) ->
   stats

@@ -33,6 +33,8 @@ type stats = Scheduler.stats = {
   end_clock : int;       (** simulated cycle at which the run ended *)
   events_fired : int;    (** total discrete events processed *)
   aborted_procs : int;   (** processors cut off by [abort_after] *)
+  crashed_procs : int;   (** crash-stopped by a fault injector *)
+  fault_defers : int;    (** events postponed by injected stalls *)
   reads : int;           (** atomic reads issued *)
   writes : int;          (** atomic writes issued *)
   rmws : int;            (** swaps / CASes / fetch&adds issued *)
@@ -41,10 +43,11 @@ type stats = Scheduler.stats = {
 exception Aborted = Scheduler.Aborted
 
 let run = Scheduler.run
-(** [run ?seed ?config ?abort_after ~procs body] simulates [procs]
-    processors each executing [body pid] from cycle 0, and returns
-    aggregate statistics.  The simulation is a deterministic function of
-    [seed] and [config].  If [abort_after] is given, processors still
-    running past that cycle are unwound with {!Aborted} (their effects
-    already applied to shared memory remain applied; in-flight operations
-    are dropped). *)
+(** [run ?seed ?config ?abort_after ?injector ~procs body] simulates
+    [procs] processors each executing [body pid] from cycle 0, and
+    returns aggregate statistics.  The simulation is a deterministic
+    function of [seed] and [config] — and of the [injector]'s plan, when
+    one is installed (see [Faults.Fault_plan]).  If [abort_after] is
+    given, processors still running past that cycle are unwound with
+    {!Aborted} (their effects already applied to shared memory remain
+    applied; in-flight operations are dropped). *)

@@ -35,6 +35,7 @@ let etree_pool ?(width = 32) ~procs () =
     ~enqueue:(fun v -> Epool.enqueue p v)
     ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
     ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ~residue:(fun () -> Epool.residue p)
     ()
 
 (* Estack-<width>: the stack-like pool (§3), for LIFO scheduling. *)
@@ -45,6 +46,7 @@ let estack_pool ?(width = 32) ~procs () =
     ~enqueue:(fun v -> Estack.push s v)
     ~dequeue:(fun ~stop -> Estack.pop ~stop s)
     ~stats_by_level:(fun () -> Estack.stats_by_level s)
+    ~residue:(fun () -> Estack.residue s)
     ()
 
 (* The Figure-5 centralized pool over a pair of counters. *)
@@ -56,6 +58,7 @@ let central_pool ~name ~procs mk_counter =
   Pool_obj.pool ~name
     ~enqueue:(fun v -> Central.enqueue pool v)
     ~dequeue:(fun ~stop -> Central.dequeue ~stop pool)
+    ~residue:(fun () -> Central.residue pool)
     ()
 
 (* MCS: centralized pool, counters = MCS-locked cells. *)
@@ -93,6 +96,7 @@ let rsu_pool ?(machine = 256) ~procs () =
   Pool_obj.pool ~name:"RSU"
     ~enqueue:(fun v -> Rsu.enqueue t v)
     ~dequeue:(fun ~stop -> Rsu.dequeue ~stop t)
+    ~residue:(fun () -> Rsu.total_size t)
     ()
 
 (* ---- ablation variants (not in the paper; see EXPERIMENTS.md) ---- *)
@@ -109,6 +113,7 @@ let etree_pool_no_elim ?(width = 32) ~procs () =
     ~enqueue:(fun v -> Epool.enqueue p v)
     ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
     ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ~residue:(fun () -> Epool.residue p)
     ()
 
 (* The elimination tree on the original single-prism schedule of [24]:
@@ -124,6 +129,7 @@ let etree_pool_single_prism ?(width = 32) ~procs () =
     ~enqueue:(fun v -> Epool.enqueue p v)
     ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
     ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ~residue:(fun () -> Epool.residue p)
     ()
 
 (* The elimination-backoff stack (Hendler-Shavit-Yerushalmi 2004): the
@@ -228,6 +234,7 @@ let ws_pool ?(machine = 256) ~procs () =
   Pool_obj.pool ~name:"WorkSteal"
     ~enqueue:(fun v -> Ws.enqueue t v)
     ~dequeue:(fun ~stop -> Ws.dequeue ~stop t)
+    ~residue:(fun () -> Ws.total_size t)
     ()
 
 (* Extended job-distribution comparison: the paper's RSU and Etree plus
@@ -238,6 +245,33 @@ let distribution_extra_methods : (procs:int -> int Pool_obj.pool) list =
     (fun ~procs -> rsu_pool ~procs ());
     (fun ~procs -> ws_pool ~procs ());
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Named registries (the single source of truth for CLI method names)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every pool method under its CLI name, shared by bin/etrees_run and
+   the chaos experiment — add a method here and every name-driven
+   driver picks it up. *)
+let pool_registry : (string * (procs:int -> int Pool_obj.pool)) list =
+  [
+    ("etree", fun ~procs -> etree_pool ~procs ());
+    ("etree64", fun ~procs -> etree_pool ~width:64 ~procs ());
+    ("estack", fun ~procs -> estack_pool ~procs ());
+    ("mcs", fun ~procs -> mcs_pool ~procs ());
+    ("ctree", fun ~procs -> ctree_pool ~procs ());
+    ("ctree256", fun ~procs -> ctree_pool ~tree_procs:256 ~procs ());
+    ("dtree32", fun ~procs -> dtree_pool ~procs ());
+    ("rsu", fun ~procs -> rsu_pool ~procs ());
+    ("worksteal", fun ~procs -> ws_pool ~procs ());
+    ("ebstack", fun ~procs -> eb_stack_pool ~procs ());
+    ("treiber", fun ~procs -> treiber_pool ~procs ());
+    ("etree-noelim", fun ~procs -> etree_pool_no_elim ~procs ());
+    ("etree-1prism", fun ~procs -> etree_pool_single_prism ~procs ());
+  ]
+
+let pool_method = fun name -> List.assoc_opt name pool_registry
+let pool_method_names = List.map fst pool_registry
 
 (* Extended counting comparison: the counting-network lineage. *)
 let counting_extra_methods : (procs:int -> Pool_obj.counter) list =
@@ -254,3 +288,18 @@ let counting_extra_methods : (procs:int -> Pool_obj.counter) list =
            (Dtree.create ~prisms:`Multi_prism ~capacity:procs ~width:32 ())));
     naive_counter;
   ]
+
+(* Counter methods under their CLI names. *)
+let counter_registry : (string * (procs:int -> Pool_obj.counter)) list =
+  [
+    ("mcs", List.nth counting_methods 1);
+    ("ctree", List.nth counting_methods 2);
+    ("dtree32", List.nth counting_methods 3);
+    ("dtree64", List.nth counting_methods 4);
+    ("dtree32multi", List.nth counting_methods 0);
+    ("faa", naive_counter);
+    ("bitonic", fun ~procs -> bitonic_counter ~procs ());
+  ]
+
+let counter_method = fun name -> List.assoc_opt name counter_registry
+let counter_method_names = List.map fst counter_registry

@@ -61,3 +61,17 @@ val ablation_methods : (procs:int -> int Pool_obj.pool) list
 val width_methods : (procs:int -> int Pool_obj.pool) list
 val distribution_extra_methods : (procs:int -> int Pool_obj.pool) list
 val counting_extra_methods : (procs:int -> Pool_obj.counter) list
+
+(** {2 Named registries}
+
+    The single source of truth mapping CLI method names to
+    constructors, shared by [bin/etrees_run] and the chaos
+    experiment. *)
+
+val pool_registry : (string * (procs:int -> int Pool_obj.pool)) list
+val pool_method : string -> (procs:int -> int Pool_obj.pool) option
+val pool_method_names : string list
+
+val counter_registry : (string * (procs:int -> Pool_obj.counter)) list
+val counter_method : string -> (procs:int -> Pool_obj.counter) option
+val counter_method_names : string list

@@ -5,14 +5,16 @@ type 'v pool = {
   name : string;
   enqueue : 'v -> unit;
   dequeue : stop:(unit -> bool) -> 'v option;
-  (* Diagnostic hooks; None for methods without an elimination tree. *)
+  (* Diagnostic hooks; None for methods without an elimination tree
+     (stats) or without an inspectable buffer (residue). *)
   stats_by_level : (unit -> Core.Elim_stats.t list) option;
+  residue : (unit -> int) option;
 }
 
 type counter = { cname : string; fetch_and_inc : unit -> int }
 
-let pool ?stats_by_level ~name ~enqueue ~dequeue () =
-  { name; enqueue; dequeue; stats_by_level }
+let pool ?stats_by_level ?residue ~name ~enqueue ~dequeue () =
+  { name; enqueue; dequeue; stats_by_level; residue }
 
 let counter ~name (c : Sync.Counter.t) =
   { cname = name; fetch_and_inc = c.Sync.Counter.fetch_and_inc }

@@ -7,12 +7,18 @@ type 'v pool = {
   dequeue : stop:(unit -> bool) -> 'v option;
   stats_by_level : (unit -> Core.Elim_stats.t list) option;
       (** diagnostic hook; [None] for methods without a tree *)
+  residue : (unit -> int) option;
+      (** elements still buffered, exact when quiescent (engine-level
+          reads: call inside a simulator run); [None] when the method
+          cannot report one.  The chaos conservation audit probes
+          this. *)
 }
 
 type counter = { cname : string; fetch_and_inc : unit -> int }
 
 val pool :
   ?stats_by_level:(unit -> Core.Elim_stats.t list) ->
+  ?residue:(unit -> int) ->
   name:string ->
   enqueue:('v -> unit) ->
   dequeue:(stop:(unit -> bool) -> 'v option) ->

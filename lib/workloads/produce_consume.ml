@@ -13,8 +13,17 @@ type point = {
   throughput_per_m : int; (* produce+consume ops per 10^6 cycles *)
   latency : float;        (* average cycles per operation *)
   ops : int;              (* raw operations completed in the window *)
+  elim_rate : float option; (* eliminated/entries over all levels *)
   mem : Sim.stats;        (* engine-level op counters, see Report.ops *)
 }
+
+(* Overall elimination fraction of the run, when the method exposes
+   per-level stats (trees only). *)
+let elim_rate_of (pool : _ Pool_obj.pool) =
+  match pool.Pool_obj.stats_by_level with
+  | None -> None
+  | Some stats ->
+      Some (Core.Elim_stats.elimination_fraction (Core.Elim_stats.merge (stats ())))
 
 let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
     (make : procs:int -> int Pool_obj.pool) =
@@ -62,6 +71,7 @@ let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
       int_of_float (float_of_int !ops *. 1e6 /. float_of_int horizon);
     latency;
     ops = !ops;
+    elim_rate = elim_rate_of pool;
     mem = stats;
   }
 

@@ -7,6 +7,9 @@ type point = {
   throughput_per_m : int; (** produce+consume ops per 10^6 cycles *)
   latency : float;        (** average cycles per operation *)
   ops : int;              (** raw operations completed in the window *)
+  elim_rate : float option;
+      (** eliminated/entries over all tree levels; [None] for methods
+          without per-level stats *)
   mem : Sim.stats;        (** engine-level op counters of the run *)
 }
 

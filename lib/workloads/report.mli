@@ -17,3 +17,22 @@ val float1 : float -> string
 val float2 : float -> string
 val percent : float -> string
 val int_ : int -> string
+
+(** {2 JSON emission}
+
+    A minimal hand-rolled emitter (the image carries no JSON library)
+    for the benchmark harness's [--json] output. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values render as [null] *)
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+val opt : ('a -> json) -> 'a option -> json
+val write_json : file:string -> json -> unit
+(** Writes [j] followed by a newline, overwriting [file]. *)

@@ -10,14 +10,18 @@
     - {!Queens} — Figure 10 left (10-queens job distribution);
     - {!Response_time} — Figure 10 right (sparse producer/consumer
       handoff);
+    - {!Chaos} — the etrees.faults robustness sweep (degradation under
+      deterministic fault plans, with conservation and termination
+      audits);
     - {!Methods} — constructors for every compared method with the
-      paper's parameters;
+      paper's parameters, plus the named method registries;
     - {!Pool_obj} — first-class pool/counter plumbing;
     - {!Report} — plain-text tables. *)
 
 module Pool_obj = Pool_obj
 module Methods = Methods
 module Produce_consume = Produce_consume
+module Chaos = Chaos
 module Counting = Counting
 module Queens = Queens
 module Response_time = Response_time

@@ -10,7 +10,14 @@
    Experiments: fig7 fig8 table1 fig9 fig10 chaos ablate extra native all
    (see DESIGN.md §3 for the experiment index, EXPERIMENTS.md for
    paper-vs-measured).  With [--json], experiments that support it also
-   write machine-readable BENCH_<experiment>.json point files. *)
+   write machine-readable BENCH_<experiment>.json point files.
+
+   Tracing (docs/TRACING.md): [--trace] adds a traced fig7 run of the
+   elimination tree at the largest processor count, printing its
+   cycle-attribution table and embedding it in BENCH_fig7.json;
+   [--trace-out FILE] additionally writes the run's Chrome trace-event
+   JSON (rendered at [--trace-level], default events) for
+   ui.perfetto.dev. *)
 
 module W = Workloads
 module R = W.Report
@@ -43,11 +50,13 @@ let counter_name make = (make ~procs:2).W.Pool_obj.cname
    tables. *)
 let json_flag = ref false
 
-let emit_json ~experiment points =
+let emit_json ?(extra = []) ~experiment points =
   if !json_flag then begin
     let file = Printf.sprintf "BENCH_%s.json" experiment in
     R.write_json ~file
-      (R.Obj [ ("experiment", R.Str experiment); ("points", R.Arr points) ]);
+      (R.Obj
+         ([ ("experiment", R.Str experiment); ("points", R.Arr points) ]
+         @ extra));
     progress "wrote %s" file
   end
 
@@ -58,7 +67,15 @@ let mem_fields (s : Sim.stats) =
     ("rmws", R.Int s.Sim.rmws);
     ("events", R.Int s.Sim.events_fired);
     ("end_clock", R.Int s.Sim.end_clock);
+    ("crashed_procs", R.Int s.Sim.crashed_procs);
+    ("fault_defers", R.Int s.Sim.fault_defers);
+    ("queue_wait_cycles", R.Int s.Sim.queue_wait_cycles);
   ]
+
+(* --trace: traced fig7 run with cycle attribution (docs/TRACING.md). *)
+let trace_flag = ref false
+let trace_out : string option ref = ref None
+let trace_level = ref Etrace.Level.Events
 
 (* ------------------------------------------------------------------ *)
 (* Figures 7 and 8: produce-consume                                    *)
@@ -122,6 +139,7 @@ let produce_consume_tables ~scale ~workload =
                     ( "throughput_per_m",
                       R.Int p.W.Produce_consume.throughput_per_m );
                     ("latency", R.Float p.W.Produce_consume.latency);
+                    ("latency_hist", R.histogram_json p.W.Produce_consume.lat);
                     ("ops", R.Int p.W.Produce_consume.ops);
                     ( "elim_rate",
                       R.opt
@@ -134,12 +152,52 @@ let produce_consume_tables ~scale ~workload =
   in
   (throughput ^ "\n" ^ latency, json)
 
+(* The traced fig7 run: the elimination tree at the largest processor
+   count, under the attribution sink (and the Chrome exporter when
+   [--trace-out] was given).  Returns the attribution summary for the
+   JSON report. *)
+let traced_fig7 scale =
+  let procs = List.fold_left max 2 scale.counts in
+  progress "fig7 traced: etree @ %d procs (level %s)" procs
+    (Etrace.Level.to_string !trace_level);
+  let chrome_level =
+    match !trace_out with Some _ -> Some !trace_level | None -> None
+  in
+  let tr =
+    W.Traced.run ?chrome_level ~procs (fun () ->
+        W.Produce_consume.run ~horizon:scale.horizon ~workload:0 ~procs
+          (fun ~procs -> W.Methods.etree_pool ~procs ()))
+  in
+  print_string
+    (R.attribution_table
+       ~title:
+         (Printf.sprintf "Cycle attribution: etree, W=0, %d procs" procs)
+       tr.W.Traced.attribution);
+  print_newline ();
+  (match (tr.W.Traced.chrome, !trace_out) with
+  | Some c, Some file -> (
+      Etrace.Chrome.write ~file c;
+      match Etrace.Chrome.validate_file file with
+      | Ok st ->
+          progress "wrote %s (%d events, %d tracks)" file st.Etrace.Chrome.events
+            st.Etrace.Chrome.tracks
+      | Error e ->
+          Printf.eprintf "bench: %s fails trace validation: %s\n" file e;
+          exit 1)
+  | _ -> ());
+  tr.W.Traced.attribution
+
 let fig7 scale =
   print_string "== Figure 7: produce-consume, Workload = 0 ==\n\n";
   let text, json = produce_consume_tables ~scale ~workload:0 in
   print_string text;
   print_newline ();
-  emit_json ~experiment:"fig7" json
+  let extra =
+    if !trace_flag then
+      [ ("attribution", R.attribution_json (traced_fig7 scale)) ]
+    else []
+  in
+  emit_json ~extra ~experiment:"fig7" json
 
 let fig8 scale =
   print_string "== Figure 8: produce-consume, Workload > 0 ==\n";
@@ -315,6 +373,24 @@ let fig10 scale =
             scale.rt_total)
        ~row_label:"procs" ~columns rows);
   print_newline ();
+  let rt_rows =
+    List.map
+      (fun procs ->
+        ( string_of_int procs,
+          List.map
+            (fun points ->
+              let p =
+                List.find (fun p -> p.W.Response_time.procs = procs) points
+              in
+              R.latency_cell p.W.Response_time.rt)
+            series ))
+      rt_counts
+  in
+  print_string
+    (R.table
+       ~title:"Per-element response time, p50/p90/p99 (cycles)"
+       ~row_label:"procs" ~columns rt_rows);
+  print_newline ();
   emit_json ~experiment:"fig10"
     (queens_json
     @ List.concat
@@ -331,6 +407,7 @@ let fig10 scale =
                      ("elapsed", R.Int p.W.Response_time.elapsed);
                      ("normalized", R.Float p.W.Response_time.normalized);
                      ("consumed", R.Int p.W.Response_time.consumed);
+                     ("response_time", R.histogram_json p.W.Response_time.rt);
                    ])
                points)
            methods series))
@@ -791,6 +868,21 @@ let () =
         parse rest
     | "--json" :: rest ->
         json_flag := true;
+        parse rest
+    | "--trace" :: rest ->
+        trace_flag := true;
+        parse rest
+    | "--trace-out" :: file :: rest ->
+        trace_flag := true;
+        trace_out := Some file;
+        parse rest
+    | "--trace-level" :: l :: rest ->
+        (match Etrace.Level.of_string l with
+        | Some lv -> trace_level := lv
+        | None ->
+            prerr_endline
+              ("unknown trace level " ^ l ^ " (off|ops|events|full)");
+            exit 2);
         parse rest
     | x :: rest ->
         picked := x :: !picked;

@@ -260,10 +260,123 @@ let chaos_cmd =
       const run $ procs_t $ seed_t $ horizon_t $ fault_seed_t $ stall_t
       $ crash_t $ hotspot_t $ jitter_t $ method_t)
 
+(* trace: deterministic tracing, cycle attribution, Perfetto export
+   (etrees.trace) *)
+let trace_cmd =
+  let level_conv =
+    let parse s =
+      match Etrace.Level.of_string s with
+      | Some l -> Ok l
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown trace level %S (expected one of: %s)" s
+                 (String.concat ", "
+                    (List.map Etrace.Level.to_string Etrace.Level.all))))
+    in
+    Arg.conv
+      (parse, fun fmt l -> Format.pp_print_string fmt (Etrace.Level.to_string l))
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON timeline to $(docv); load it in \
+             ui.perfetto.dev or chrome://tracing.")
+  in
+  let level_t =
+    Arg.(
+      value
+      & opt level_conv Etrace.Level.Events
+      & info [ "trace-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Detail rendered into the timeline: off, ops (processor/op \
+             lifecycle), events (plus balancer traversal), full (plus raw \
+             scheduler intervals).  Cycle attribution always sees the full \
+             stream.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the written trace file (phases, timestamp presence, \
+             per-track monotonicity); exit nonzero on failure.")
+  in
+  let workload_t =
+    Arg.(
+      value & opt int 0
+      & info [ "w"; "workload" ] ~doc:"Max think time between operations.")
+  in
+  let run procs seed horizon workload make out level check =
+    let chrome_level = match out with Some _ -> Some level | None -> None in
+    let tr =
+      W.Traced.run ?chrome_level ~procs (fun () ->
+          W.Produce_consume.run ~seed ~horizon ~workload ~procs make)
+    in
+    let p = tr.W.Traced.value in
+    let name = (make ~procs).W.Pool_obj.name in
+    Printf.printf "%s procs=%d workload=%d: %d ops, %d ops/Mcycle\n\n" name
+      procs workload p.W.Produce_consume.ops
+      p.W.Produce_consume.throughput_per_m;
+    print_string
+      (W.Report.attribution_table
+         ~title:
+           (Printf.sprintf "Cycle attribution: %s, W=%d, %d procs" name
+              workload procs)
+         tr.W.Traced.attribution);
+    print_newline ();
+    if not (Etrace.Attribution.check tr.W.Traced.attribution) then begin
+      Printf.eprintf
+        "trace: attribution books do not balance (attributed %d, total %d)\n"
+        tr.W.Traced.attribution.Etrace.Attribution.attributed_cycles
+        tr.W.Traced.attribution.Etrace.Attribution.total_cycles;
+      exit 1
+    end;
+    match (tr.W.Traced.chrome, out) with
+    | Some c, Some file ->
+        Etrace.Chrome.write ~file c;
+        Printf.printf "wrote %s (level %s)\n" file
+          (Etrace.Level.to_string level);
+        if check then begin
+          match Etrace.Chrome.validate_file file with
+          | Ok st ->
+              Printf.printf "validated: %d events on %d tracks\n"
+                st.Etrace.Chrome.events st.Etrace.Chrome.tracks
+          | Error e ->
+              Printf.eprintf "trace: %s fails validation: %s\n" file e;
+              exit 1
+        end
+    | _ ->
+        if check then begin
+          Printf.eprintf "trace: --check requires --trace-out FILE\n";
+          exit 2
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the produce-consume workload under the tracing sinks: print \
+          the per-layer cycle-attribution table and optionally export a \
+          Chrome/Perfetto timeline.")
+    Term.(
+      const run $ procs_t $ seed_t $ horizon_t $ workload_t $ pool_method_t
+      $ out_t $ level_t $ check_t)
+
 let () =
   let doc = "Elimination-tree experiments on the multiprocessor simulator." in
   let info = Cmd.info "etrees_run" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ pc_cmd; count_cmd; queens_cmd; response_cmd; table1_cmd; chaos_cmd ]))
+          [
+            pc_cmd;
+            count_cmd;
+            queens_cmd;
+            response_cmd;
+            table1_cmd;
+            chaos_cmd;
+            trace_cmd;
+          ]))

@@ -34,6 +34,7 @@ module Make (E : Engine.S) = struct
 
   type 'v t = {
     id : int; (* unique within the tree; announcements carry it *)
+    depth : int; (* tree layer, for the trace timeline; 0 standalone *)
     mode : [ `Pool | `Stack ];
     eliminate : bool;
     prisms : int E.cell array array; (* pid slots; -1 = empty *)
@@ -50,14 +51,15 @@ module Make (E : Engine.S) = struct
   (* Number of processors the announcement array can accommodate. *)
   let location_capacity (location : 'v location) = Array.length location
 
-  let create ?(mode = `Pool) ?(eliminate = true) ~id ~prism_widths ~spin
-      ~location () =
+  let create ?(mode = `Pool) ?(eliminate = true) ?(depth = 0) ~id
+      ~prism_widths ~spin ~location () =
     if prism_widths = [] then
       invalid_arg "Elim_balancer.create: at least one prism required";
     let capacity = Array.length location in
     let ntoggles = match mode with `Pool -> 2 | `Stack -> 1 in
     {
       id;
+      depth;
       mode;
       eliminate;
       prisms =
@@ -96,14 +98,39 @@ module Make (E : Engine.S) = struct
     E.set t.location.(E.pid ()) box;
     box
 
-  (* After our entry was claimed, read our fate out of it. *)
+  (* After our entry was claimed, read our fate out of it.  The trace
+     records the collision from the victim's side too ([initiator =
+     false]); the claimer's identity is not recoverable from the entry,
+     hence [partner = -1]. *)
   let claimed_outcome t my_cell : 'v Location.outcome =
     match E.get my_cell with
     | Location.Diffracted ->
         Elim_stats.note_diffracted t.stats 1;
+        if Etrace.on Etrace.lv_events then
+          Etrace.emit
+            (Etrace.Event.Prism_cas
+               {
+                 pid = E.pid ();
+                 time = E.now ();
+                 balancer = t.id;
+                 partner = -1;
+                 initiator = false;
+                 result = Etrace.Event.Diffracted;
+               });
         Location.Exit 0
     | Location.Eliminated_slot v ->
         Elim_stats.note_eliminated t.stats 1;
+        if Etrace.on Etrace.lv_events then
+          Etrace.emit
+            (Etrace.Event.Prism_cas
+               {
+                 pid = E.pid ();
+                 time = E.now ();
+                 balancer = t.id;
+                 partner = -1;
+                 initiator = false;
+                 result = Etrace.Event.Eliminated;
+               });
         Location.Eliminated v
     | Location.Empty | Location.Announced _ ->
         (* Our claim ticket was CASed away, so the claimer has already
@@ -132,9 +159,33 @@ module Make (E : Engine.S) = struct
             then begin
               (* Diffracting collision: we take wire 1, partner wire 0. *)
               Elim_stats.note_diffracted t.stats 1;
+              if Etrace.on Etrace.lv_events then
+                Etrace.emit
+                  (Etrace.Event.Prism_cas
+                     {
+                       pid = E.pid ();
+                       time = E.now ();
+                       balancer = t.id;
+                       partner = him;
+                       initiator = true;
+                       result = Etrace.Event.Diffracted;
+                     });
               Done (Location.Exit 1)
             end
-            else Keep (announce t ~kind ~value)
+            else begin
+              if Etrace.on Etrace.lv_events then
+                Etrace.emit
+                  (Etrace.Event.Prism_cas
+                     {
+                       pid = E.pid ();
+                       time = E.now ();
+                       balancer = t.id;
+                       partner = him;
+                       initiator = true;
+                       result = Etrace.Event.Lost;
+                     });
+              Keep (announce t ~kind ~value)
+            end
           else if
             E.compare_and_set t.location.(him) his_box
               (Location.Eliminated_slot value)
@@ -142,9 +193,33 @@ module Make (E : Engine.S) = struct
             (* Eliminating collision: our value is now in the partner's
                entry; an Anti initiator walks away with the Token's. *)
             Elim_stats.note_eliminated t.stats 1;
+            if Etrace.on Etrace.lv_events then
+              Etrace.emit
+                (Etrace.Event.Prism_cas
+                   {
+                     pid = E.pid ();
+                     time = E.now ();
+                     balancer = t.id;
+                     partner = him;
+                     initiator = true;
+                     result = Etrace.Event.Eliminated;
+                   });
             Done (Location.Eliminated his_value)
           end
-          else Keep (announce t ~kind ~value)
+          else begin
+            if Etrace.on Etrace.lv_events then
+              Etrace.emit
+                (Etrace.Event.Prism_cas
+                   {
+                     pid = E.pid ();
+                     time = E.now ();
+                     balancer = t.id;
+                     partner = him;
+                     initiator = true;
+                     result = Etrace.Event.Lost;
+                   });
+            Keep (announce t ~kind ~value)
+          end
         else
           (* Our own claim failed: someone claimed us first. *)
           Done (claimed_outcome t my_cell)
@@ -153,50 +228,111 @@ module Make (E : Engine.S) = struct
   (* Fall through to the toggle bit (Fig. 4 part 2). *)
   let toggle_phase t ~kind ~my_cell ~my_box : 'v Location.outcome =
     let i = toggle_index t kind in
+    if Etrace.on Etrace.lv_events then
+      Etrace.emit
+        (Etrace.Event.Toggle_wait
+           { pid = E.pid (); time = E.now (); balancer = t.id });
     Lock.acquire t.locks.(i);
     if E.compare_and_set my_cell my_box Location.Empty then begin
       let old = E.get t.toggles.(i) in
       E.set t.toggles.(i) (not old);
       Lock.release t.locks.(i);
       Elim_stats.note_toggled t.stats;
+      if Etrace.on Etrace.lv_events then
+        Etrace.emit
+          (Etrace.Event.Toggle_pass
+             { pid = E.pid (); time = E.now (); balancer = t.id; toggled = true });
       Location.Exit (toggle_wire t kind ~old)
     end
     else begin
       Lock.release t.locks.(i);
+      if Etrace.on Etrace.lv_events then
+        Etrace.emit
+          (Etrace.Event.Toggle_pass
+             {
+               pid = E.pid ();
+               time = E.now ();
+               balancer = t.id;
+               toggled = false;
+             });
       claimed_outcome t my_cell
     end
+
+  let trace_kind : Location.kind -> Etrace.Event.token_kind = function
+    | Location.Token -> Etrace.Event.Token
+    | Location.Anti -> Etrace.Event.Anti
 
   (* Shepherd one token or anti-token through this balancer. *)
   let traverse t ~(kind : Location.kind) ~(value : 'v option) :
       'v Location.outcome =
     Elim_stats.entered t.stats kind;
     let p = E.pid () in
+    if Etrace.on Etrace.lv_events then
+      Etrace.emit
+        (Etrace.Event.Balancer_enter
+           {
+             pid = p;
+             time = E.now ();
+             balancer = t.id;
+             depth = t.depth;
+             kind = trace_kind kind;
+           });
     let my_cell = t.location.(p) in
     let nprisms = Array.length t.prisms in
     let rec prism_phase i my_box =
       if i >= nprisms then toggle_phase t ~kind ~my_cell ~my_box
       else begin
-        let prism = t.prisms.(i) in
-        let slot = E.random_int (Array.length prism) in
-        let him = E.exchange prism.(slot) p in
-        let attempt =
-          if him >= 0 && him <> p then
-            try_collide t ~kind ~value ~my_cell ~my_box him
-          else Keep my_box
+        if Etrace.on Etrace.lv_events then
+          Etrace.emit
+            (Etrace.Event.Prism_enter
+               { pid = p; time = E.now (); balancer = t.id; layer = i });
+        let layer_result =
+          let prism = t.prisms.(i) in
+          let slot = E.random_int (Array.length prism) in
+          let him = E.exchange prism.(slot) p in
+          let attempt =
+            if him >= 0 && him <> p then
+              try_collide t ~kind ~value ~my_cell ~my_box him
+            else Keep my_box
+          in
+          match attempt with
+          | Done _ as d -> d
+          | Keep my_box -> (
+              (* Wait in hope of being collided with, then check. *)
+              if Etrace.on Etrace.lv_events then
+                Etrace.emit (Etrace.Event.Spin_begin { pid = p; time = E.now () });
+              E.delay t.spin;
+              if Etrace.on Etrace.lv_events then
+                Etrace.emit (Etrace.Event.Spin_end { pid = p; time = E.now () });
+              match E.get my_cell with
+              | Location.Diffracted | Location.Eliminated_slot _ ->
+                  Done (claimed_outcome t my_cell)
+              | Location.Announced _ | Location.Empty -> Keep my_box)
         in
-        match attempt with
+        if Etrace.on Etrace.lv_events then
+          Etrace.emit
+            (Etrace.Event.Prism_exit
+               { pid = p; time = E.now (); balancer = t.id; layer = i });
+        match layer_result with
         | Done outcome -> outcome
-        | Keep my_box -> (
-            (* Wait in hope of being collided with, then check. *)
-            E.delay t.spin;
-            match E.get my_cell with
-            | Location.Diffracted | Location.Eliminated_slot _ ->
-                claimed_outcome t my_cell
-            | Location.Announced _ | Location.Empty ->
-                prism_phase (i + 1) my_box)
+        | Keep my_box -> prism_phase (i + 1) my_box
       end
     in
-    prism_phase 0 (announce t ~kind ~value)
+    let outcome = prism_phase 0 (announce t ~kind ~value) in
+    if Etrace.on Etrace.lv_events then
+      Etrace.emit
+        (Etrace.Event.Balancer_exit
+           {
+             pid = p;
+             time = E.now ();
+             balancer = t.id;
+             depth = t.depth;
+             wire =
+               (match outcome with
+               | Location.Exit w -> Some w
+               | Location.Eliminated _ -> None);
+           });
+    outcome
 
   let stats t = t.stats
 end

@@ -27,6 +27,7 @@ module Make (E : Engine.S) : sig
   val create :
     ?mode:[ `Pool | `Stack ] ->
     ?eliminate:bool ->
+    ?depth:int ->
     id:int ->
     prism_widths:int list ->
     spin:int ->
@@ -35,7 +36,11 @@ module Make (E : Engine.S) : sig
     'v t
   (** [id] must be unique among balancers sharing [location];
       [prism_widths] lists the prism cascade outermost first (at least
-      one); [spin] is the per-prism collision wait. *)
+      one); [spin] is the per-prism collision wait.  [depth] (default 0)
+      only annotates this balancer's trace events with its tree
+      layer. *)
+
+  val trace_kind : Location.kind -> Etrace.Event.token_kind
 
   val traverse :
     'v t -> kind:Location.kind -> value:'v option -> 'v Location.outcome

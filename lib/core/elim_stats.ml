@@ -43,17 +43,28 @@ let note_toggled t = t.toggled <- t.toggled + 1
 
 let entries t = t.token_entries + t.anti_entries
 
-(* Sum a list of per-balancer stats (e.g. all balancers on one level). *)
+(* Sum a list of per-balancer stats (e.g. all balancers on one level).
+   Each distinct record is counted once no matter how often it appears:
+   callers assembling overlapping groups (per-layer *and* whole-tree
+   views of the same live records, as the attribution table does) would
+   otherwise double-count.  Identity is physical — two balancers'
+   records are distinct objects even when their counters are equal. *)
 let merge stats =
   let acc = create () in
-  List.iter
-    (fun s ->
-      acc.token_entries <- acc.token_entries + s.token_entries;
-      acc.anti_entries <- acc.anti_entries + s.anti_entries;
-      acc.eliminated <- acc.eliminated + s.eliminated;
-      acc.diffracted <- acc.diffracted + s.diffracted;
-      acc.toggled <- acc.toggled + s.toggled)
-    stats;
+  let rec go seen = function
+    | [] -> ()
+    | s :: rest ->
+        if List.memq s seen then go seen rest
+        else begin
+          acc.token_entries <- acc.token_entries + s.token_entries;
+          acc.anti_entries <- acc.anti_entries + s.anti_entries;
+          acc.eliminated <- acc.eliminated + s.eliminated;
+          acc.diffracted <- acc.diffracted + s.diffracted;
+          acc.toggled <- acc.toggled + s.toggled;
+          go (s :: seen) rest
+        end
+  in
+  go [] stats;
   acc
 
 (* Table 1's metric: of the tokens that entered this level, the fraction

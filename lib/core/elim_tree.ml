@@ -55,8 +55,9 @@ module Make (E : Engine.S) = struct
     let location = Balancer.make_location ~capacity in
     let balancers =
       Array.init (width - 1) (fun i ->
-          let level = config.levels.(depth_of_index i) in
-          Balancer.create ~mode ~eliminate ~id:i
+          let depth = depth_of_index i in
+          let level = config.levels.(depth) in
+          Balancer.create ~mode ~eliminate ~depth ~id:i
             ~prism_widths:level.prism_widths ~spin:level.spin ~location ())
     in
     {
@@ -78,31 +79,55 @@ module Make (E : Engine.S) = struct
             (create with a larger ~capacity)"
            p
            (Balancer.location_capacity t.location));
-    if t.width = 1 then Leaf 0
-    else begin
-      let rec go idx depth acc =
-        match Balancer.traverse t.balancers.(idx) ~kind ~value with
-        | Location.Eliminated v -> Eliminated v
-        | Location.Exit wire ->
-            let acc =
-              match t.leaf_order with
-              | `Natural -> (acc lsl 1) lor wire
-              | `Interleaved -> acc lor (wire lsl depth)
-            in
-            let child = (2 * idx) + 1 + wire in
-            if child >= t.width - 1 then Leaf acc else go child (depth + 1) acc
-      in
-      go 0 0 0
-    end
+    if Etrace.on Etrace.lv_ops then
+      Etrace.emit
+        (Etrace.Event.Op_begin
+           { pid = p; time = E.now (); kind = Balancer.trace_kind kind });
+    let result =
+      if t.width = 1 then Leaf 0
+      else begin
+        let rec go idx depth acc =
+          match Balancer.traverse t.balancers.(idx) ~kind ~value with
+          | Location.Eliminated v -> Eliminated v
+          | Location.Exit wire ->
+              let acc =
+                match t.leaf_order with
+                | `Natural -> (acc lsl 1) lor wire
+                | `Interleaved -> acc lor (wire lsl depth)
+              in
+              let child = (2 * idx) + 1 + wire in
+              if child >= t.width - 1 then Leaf acc
+              else go child (depth + 1) acc
+        in
+        go 0 0 0
+      end
+    in
+    if Etrace.on Etrace.lv_ops then
+      Etrace.emit
+        (Etrace.Event.Op_end
+           {
+             pid = p;
+             time = E.now ();
+             kind = Balancer.trace_kind kind;
+             leaf = (match result with Leaf i -> Some i | Eliminated _ -> None);
+           });
+    result
 
-  (* Statistics for Table 1: merged per depth, root first. *)
-  let stats_by_level t =
+  (* The live per-balancer stats records grouped by depth, root level
+     first — the attribution table joins these against trace-derived
+     cycle budgets.  The inner lists alias the balancers' own records;
+     [Elim_stats.merge] de-duplicates by physical identity, so passing
+     overlapping groups (or the same record twice) cannot double-count. *)
+  let balancer_stats_by_level t =
     let balancers = Array.to_list t.balancers in
     List.init t.depth (fun d ->
         balancers
         |> List.filteri (fun i _ -> depth_of_index i = d)
-        |> List.map Balancer.stats
-        |> Elim_stats.merge)
+        |> List.map Balancer.stats)
+
+  (* Statistics for Table 1: merged per depth, root first. *)
+  let stats_by_level t =
+    List.map Elim_stats.merge (balancer_stats_by_level t)
 
   let reset_stats t =
     Array.iter (fun b -> Elim_stats.reset (Balancer.stats b)) t.balancers

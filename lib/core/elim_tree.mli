@@ -33,6 +33,12 @@ module Make (E : Engine.S) : sig
   val stats_by_level : 'v t -> Elim_stats.t list
   (** Merged statistics per depth, root first (Table 1). *)
 
+  val balancer_stats_by_level : 'v t -> Elim_stats.t list list
+  (** The live per-balancer statistics records grouped by depth, root
+      first (the flattening of each group under [Elim_stats.merge]
+      equals the corresponding {!stats_by_level} entry).  Used to join
+      balancer outcomes against trace-derived cycle budgets. *)
+
   val reset_stats : 'v t -> unit
 
   val expected_nodes_traversed : 'v t -> float

@@ -98,17 +98,29 @@ module Make (E : Engine.S) = struct
      [stop] turns the wait into a bounded one: once it returns true the
      dequeuer gives up with [None] — workloads use this to drain. *)
   let dequeue_blocking ?(poll = 16) ?(stop = fun () -> false) t =
-    let rec attempt () =
+    let rec attempt spinning =
       match try_dequeue t with
-      | Some _ as v -> v
+      | Some _ as v ->
+          if spinning && Etrace.on Etrace.lv_events then
+            Etrace.emit
+              (Etrace.Event.Spin_end { pid = E.pid (); time = E.now () });
+          v
       | None ->
-          if stop () then None
+          if stop () then begin
+            if spinning && Etrace.on Etrace.lv_events then
+              Etrace.emit
+                (Etrace.Event.Spin_end { pid = E.pid (); time = E.now () });
+            None
+          end
           else begin
+            if (not spinning) && Etrace.on Etrace.lv_events then
+              Etrace.emit
+                (Etrace.Event.Spin_begin { pid = E.pid (); time = E.now () });
             E.delay poll;
-            attempt ()
+            attempt true
           end
     in
-    attempt ()
+    attempt false
 
   (* Acquire the locks of [a] and [b] (distinct pools) in uid order,
      run [f], release in reverse order. *)

@@ -41,6 +41,7 @@ let get c =
          {
            loc = c.Memory.loc;
            latency = t.config.read_latency;
+           kind = Etrace.Event.Read;
            run =
              (fun () ->
                trace_read c ~pid ~issued ~serialized:true;
@@ -67,6 +68,7 @@ let set c x =
        {
          loc = c.Memory.loc;
          latency = t.config.write_latency;
+         kind = Etrace.Event.Write;
          run =
            (fun () ->
              let clean = Memory.shadow_clean c in
@@ -85,6 +87,7 @@ let exchange c x =
        {
          loc = c.Memory.loc;
          latency = t.config.rmw_latency;
+         kind = Etrace.Event.Rmw;
          run =
            (fun () ->
              let clean = Memory.shadow_clean c in
@@ -105,6 +108,7 @@ let compare_and_set c expected desired =
        {
          loc = c.Memory.loc;
          latency = t.config.rmw_latency;
+         kind = Etrace.Event.Rmw;
          run =
            (fun () ->
              let clean = Memory.shadow_clean c in
@@ -130,6 +134,7 @@ let fetch_and_add c k =
        {
          loc = c.Memory.loc;
          latency = t.config.rmw_latency;
+         kind = Etrace.Event.Rmw;
          run =
            (fun () ->
              let clean = Memory.shadow_clean c in

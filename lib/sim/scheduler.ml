@@ -21,6 +21,7 @@ type _ Effect.t +=
   | Serialized : {
       loc : Memory.loc;
       latency : int;
+      kind : Etrace.Event.mem_kind; (* for the trace timeline only *)
       run : unit -> 'r;
     }
       -> 'r Effect.t
@@ -74,6 +75,7 @@ type t = {
   mutable op_reads : int;  (* engine-level operation counters *)
   mutable op_writes : int;
   mutable op_rmws : int;
+  mutable queue_wait : int; (* cycles serialized ops spent queueing *)
 }
 
 type stats = {
@@ -85,6 +87,7 @@ type stats = {
   reads : int;
   writes : int;
   rmws : int;
+  queue_wait_cycles : int;
 }
 
 (* The running scheduler.  The simulator is strictly single-threaded (one
@@ -116,12 +119,23 @@ let start t p body =
   let open Effect.Deep in
   let handler =
     {
-      retc = (fun () -> t.live <- t.live - 1);
+      retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          if Etrace.on Etrace.lv_ops then
+            Etrace.emit
+              (Etrace.Event.Proc_end
+                 { pid = p; time = t.clock; reason = Etrace.Event.Finished }));
       exnc =
         (fun e ->
           t.live <- t.live - 1;
           match e with
-          | Aborted -> t.aborted <- t.aborted + 1
+          | Aborted ->
+              t.aborted <- t.aborted + 1;
+              if Etrace.on Etrace.lv_ops then
+                Etrace.emit
+                  (Etrace.Event.Proc_end
+                     { pid = p; time = t.clock; reason = Etrace.Event.Aborted })
           | e -> raise e);
       effc =
         (fun (type b) (eff : b Effect.t) ->
@@ -139,12 +153,17 @@ let start t p body =
                         in
                         if j > 0 then n + j else n
                   in
+                  let issued = t.clock in
                   schedule t (t.clock + n)
                     {
                       pid = p;
                       fire =
                         (fun () ->
                           t.current <- p;
+                          if Etrace.on Etrace.lv_full then
+                            Etrace.emit
+                              (Etrace.Event.Delay_done
+                                 { pid = p; issued; planned = n; fired = t.clock });
                           continue k ());
                       abort = (fun () -> discontinue k Aborted);
                     })
@@ -156,16 +175,32 @@ let start t p body =
                     | Some loc -> faulted_latency t ~loc ~base:latency
                     | None -> latency
                   in
+                  let issued = t.clock in
+                  let loc_id =
+                    match loc with Some l -> l.Memory.id | None -> -1
+                  in
                   schedule t (t.clock + latency)
                     {
                       pid = p;
                       fire =
                         (fun () ->
                           t.current <- p;
+                          if Etrace.on Etrace.lv_full then
+                            Etrace.emit
+                              (Etrace.Event.Mem_op
+                                 {
+                                   pid = p;
+                                   kind = Etrace.Event.Read;
+                                   loc = loc_id;
+                                   issued;
+                                   begins = issued;
+                                   finish = issued + latency;
+                                   fired = t.clock;
+                                 });
                           continue k (run ()));
                       abort = (fun () -> discontinue k Aborted);
                     })
-          | Serialized { loc; latency; run } ->
+          | Serialized { loc; latency; kind; run } ->
               Some
                 (fun (k : (b, _) continuation) ->
                   let latency = faulted_latency t ~loc ~base:latency in
@@ -175,6 +210,7 @@ let start t p body =
                     else t.clock
                   in
                   let finish = begins + latency in
+                  t.queue_wait <- t.queue_wait + (begins - t.clock);
                   (* Analysis hook: observe the new service window while
                      [loc]'s pending stamp still describes the previous
                      one (overlap would mean a broken busy-until chain),
@@ -186,12 +222,25 @@ let start t p body =
                   | None -> ());
                   Memory.issue_stamp loc ~pid:t.current ~begins ~finish;
                   loc.Memory.busy_until <- finish;
+                  let issued = t.clock in
                   schedule t finish
                     {
                       pid = p;
                       fire =
                         (fun () ->
                           t.current <- p;
+                          if Etrace.on Etrace.lv_full then
+                            Etrace.emit
+                              (Etrace.Event.Mem_op
+                                 {
+                                   pid = p;
+                                   kind;
+                                   loc = loc.Memory.id;
+                                   issued;
+                                   begins;
+                                   finish;
+                                   fired = t.clock;
+                                 });
                           continue k (run ()));
                       abort = (fun () -> discontinue k Aborted);
                     })
@@ -199,6 +248,8 @@ let start t p body =
     }
   in
   t.current <- p;
+  if Etrace.on Etrace.lv_ops then
+    Etrace.emit (Etrace.Event.Proc_start { pid = p; time = t.clock });
   match_with body p handler
 
 (* Run [procs] simulated processors, each executing [body pid], until
@@ -231,6 +282,7 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
       op_reads = 0;
       op_writes = 0;
       op_rmws = 0;
+      queue_wait = 0;
     }
   in
   let prev = !active in
@@ -267,6 +319,9 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
           | Fault_defer until ->
               t.fault_defers <- t.fault_defers + 1;
               let until = if until <= time then time + 1 else until in
+              if Etrace.on Etrace.lv_ops then
+                Etrace.emit
+                  (Etrace.Event.Fault_stall { pid = ev.pid; time; until });
               schedule t until ev
           | Fault_drop ->
               (* Crash-stop: the processor's sole pending event dies and
@@ -274,7 +329,13 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
                  unresumed, so no cleanup handlers run. *)
               t.clock <- time;
               t.live <- t.live - 1;
-              t.crashed <- t.crashed + 1);
+              t.crashed <- t.crashed + 1;
+              if Etrace.on Etrace.lv_ops then begin
+                Etrace.emit (Etrace.Event.Fault_crash { pid = ev.pid; time });
+                Etrace.emit
+                  (Etrace.Event.Proc_end
+                     { pid = ev.pid; time; reason = Etrace.Event.Crashed })
+              end);
           loop ()
         end
   in
@@ -289,4 +350,5 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
     reads = t.op_reads;
     writes = t.op_writes;
     rmws = t.op_rmws;
+    queue_wait_cycles = t.queue_wait;
   }

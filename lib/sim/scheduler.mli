@@ -18,6 +18,7 @@ type _ Effect.t +=
   | Serialized : {
       loc : Memory.loc;
       latency : int;
+      kind : Etrace.Event.mem_kind;  (** rendered on the trace timeline *)
       run : unit -> 'r;
     }
       -> 'r Effect.t
@@ -80,6 +81,9 @@ type t = {
   mutable op_reads : int;  (** engine-level operation counters *)
   mutable op_writes : int;
   mutable op_rmws : int;
+  mutable queue_wait : int;
+      (** cycles serialized operations spent queueing behind busy
+          locations — the simulator's aggregate hot-spot cost *)
 }
 
 type stats = {
@@ -91,6 +95,9 @@ type stats = {
   reads : int;   (** atomic reads issued *)
   writes : int;  (** atomic writes issued *)
   rmws : int;    (** swaps / CASes / fetch&adds issued *)
+  queue_wait_cycles : int;
+      (** total cycles serialized operations queued behind busy
+          locations *)
 }
 
 val the_sched : unit -> t

@@ -38,6 +38,8 @@ type stats = Scheduler.stats = {
   reads : int;           (** atomic reads issued *)
   writes : int;          (** atomic writes issued *)
   rmws : int;            (** swaps / CASes / fetch&adds issued *)
+  queue_wait_cycles : int;
+      (** cycles serialized ops spent queueing behind busy locations *)
 }
 
 exception Aborted = Scheduler.Aborted

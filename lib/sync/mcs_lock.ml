@@ -47,9 +47,14 @@ module Make (E : Engine.S) = struct
         E.set pred.next node.some;
         (* Local spinning: [node.locked] is written only by the
            predecessor's release. *)
+        if Etrace.on Etrace.lv_events then
+          Etrace.emit
+            (Etrace.Event.Spin_begin { pid = E.pid (); time = E.now () });
         while E.get node.locked do
           E.cpu_relax ()
-        done
+        done;
+        if Etrace.on Etrace.lv_events then
+          Etrace.emit (Etrace.Event.Spin_end { pid = E.pid (); time = E.now () })
 
   let release t =
     let node = my_node t in
@@ -67,7 +72,13 @@ module Make (E : Engine.S) = struct
                 hand_over ()
             | Some succ -> E.set succ.locked false
           in
-          hand_over ()
+          if Etrace.on Etrace.lv_events then
+            Etrace.emit
+              (Etrace.Event.Spin_begin { pid = E.pid (); time = E.now () });
+          hand_over ();
+          if Etrace.on Etrace.lv_events then
+            Etrace.emit
+              (Etrace.Event.Spin_end { pid = E.pid (); time = E.now () })
         end
 
   let with_lock t f =

@@ -1,0 +1,224 @@
+(* Cycle attribution (etrees.trace): a profiling sink that folds the
+   event stream into per-balancer / per-layer / per-category cycle
+   budgets.
+
+   Under the discrete-event simulator a processor's lifetime partitions
+   exactly into the intervals of the events it parks in the heap: local
+   delays, read latencies, and serialized operations (queueing plus
+   service).  The scheduler emits each interval when it completes
+   ([Event.Delay_done], [Event.Mem_op]), so summing the attributed
+   pieces per processor must reproduce that processor's lifetime — and
+   the grand total must equal total simulated cycles (sum of processor
+   lifetimes over every run observed).  [check] verifies this within
+   1%; the qcheck property in test/test_trace.ml exercises it across
+   random seeds and fault plans.
+
+   Categories:
+   - [Spin]: delays inside a spin-wait ([Event.Spin_begin/End] marks:
+     prism collision waits, MCS lock spins, empty-pool polls);
+   - [Work]: all other delays (workload think time, local computation);
+   - [Queue]: cycles a serialized operation waited behind earlier
+     operations on its location ([begins - issued]) — the hot-spot
+     cost the paper's prisms exist to avoid;
+   - [Service]: the operation's own service latency;
+   - [Stalled]: extra cycles an injected fault deferred a completion;
+   - [Lost]: the unattributable tail of a crashed/aborted processor
+     (its in-flight operation died with it).
+
+   Context: cycles land on the balancer the processor was traversing
+   (tracked from [Balancer_enter]/[Balancer_exit]), keyed by
+   (depth, balancer id); cycles outside any balancer land on the
+   pseudo-context (-1, -1) ("outside the tree": leaf pools, central
+   structures, workload think time).
+
+   A single [t] may observe several sequential [Sim.run]s (e.g. the
+   chaos workload's quiescent residue probe): [Proc_start] opens a new
+   per-processor segment and [Proc_end] closes it into the totals. *)
+
+type category = Spin | Queue | Service | Work | Stalled | Lost
+
+let categories = [ Spin; Queue; Service; Work; Stalled; Lost ]
+
+let category_name = function
+  | Spin -> "spin"
+  | Queue -> "queue"
+  | Service -> "service"
+  | Work -> "work"
+  | Stalled -> "stalled"
+  | Lost -> "lost"
+
+let cat_index = function
+  | Spin -> 0
+  | Queue -> 1
+  | Service -> 2
+  | Work -> 3
+  | Stalled -> 4
+  | Lost -> 5
+
+let ncats = 6
+
+type t = {
+  procs : int;
+  cells : (int * int, int array) Hashtbl.t; (* (depth, balancer) -> by cat *)
+  stack : (int * int) list array; (* per-pid balancer context *)
+  spin_depth : int array;
+  seg_attr : int array; (* cycles attributed in the open segment *)
+  started : bool array; (* saw Proc_start for the open segment *)
+  mutable total : int; (* sum of closed segment lifetimes *)
+  mutable attributed : int;
+}
+
+let create ~procs =
+  {
+    procs;
+    cells = Hashtbl.create 64;
+    stack = Array.make procs [];
+    spin_depth = Array.make procs 0;
+    seg_attr = Array.make procs 0;
+    started = Array.make procs false;
+    total = 0;
+    attributed = 0;
+  }
+
+let context t pid = match t.stack.(pid) with [] -> (-1, -1) | c :: _ -> c
+
+let charge t pid cat cycles =
+  if cycles > 0 then begin
+    let key = context t pid in
+    let row =
+      match Hashtbl.find_opt t.cells key with
+      | Some row -> row
+      | None ->
+          let row = Array.make ncats 0 in
+          Hashtbl.add t.cells key row;
+          row
+    in
+    row.(cat_index cat) <- row.(cat_index cat) + cycles;
+    t.seg_attr.(pid) <- t.seg_attr.(pid) + cycles;
+    t.attributed <- t.attributed + cycles
+  end
+
+let sink t (e : Event.t) =
+  match e with
+  | Event.Proc_start { pid; _ } ->
+      if pid < t.procs then begin
+        t.seg_attr.(pid) <- 0;
+        t.started.(pid) <- true;
+        t.stack.(pid) <- [];
+        t.spin_depth.(pid) <- 0
+      end
+  | Event.Proc_end { pid; time; _ } ->
+      if pid < t.procs then begin
+        t.total <- t.total + time;
+        (* Whatever the interval stream did not cover — the in-flight
+           operation of a crashed processor, a crash-dropped initial
+           event (no Proc_start at all) — is unattributable. *)
+        let covered = if t.started.(pid) then t.seg_attr.(pid) else 0 in
+        charge t pid Lost (time - covered);
+        t.started.(pid) <- false;
+        t.stack.(pid) <- []
+      end
+  | Event.Balancer_enter { pid; balancer; depth; _ } ->
+      if pid < t.procs then t.stack.(pid) <- (depth, balancer) :: t.stack.(pid)
+  | Event.Balancer_exit { pid; _ } -> (
+      if pid < t.procs then
+        match t.stack.(pid) with [] -> () | _ :: rest -> t.stack.(pid) <- rest)
+  | Event.Spin_begin { pid; _ } ->
+      if pid < t.procs then t.spin_depth.(pid) <- t.spin_depth.(pid) + 1
+  | Event.Spin_end { pid; _ } ->
+      if pid < t.procs && t.spin_depth.(pid) > 0 then
+        t.spin_depth.(pid) <- t.spin_depth.(pid) - 1
+  | Event.Delay_done { pid; issued; planned; fired } ->
+      if pid < t.procs then begin
+        let cat = if t.spin_depth.(pid) > 0 then Spin else Work in
+        charge t pid cat planned;
+        charge t pid Stalled (fired - issued - planned)
+      end
+  | Event.Mem_op { pid; issued; begins; finish; fired; _ } ->
+      if pid < t.procs then begin
+        charge t pid Queue (begins - issued);
+        charge t pid Service (finish - begins);
+        charge t pid Stalled (fired - finish)
+      end
+  | Event.Op_begin _ | Event.Op_end _ | Event.Prism_enter _
+  | Event.Prism_exit _ | Event.Prism_cas _ | Event.Toggle_wait _
+  | Event.Toggle_pass _ | Event.Fault_stall _ | Event.Fault_crash _ ->
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  depth : int; (* -1: outside any balancer *)
+  balancer : int;
+  cycles : int array; (* indexed by [cat_index] *)
+}
+
+let row_total r = Array.fold_left ( + ) 0 r.cycles
+
+type summary = {
+  procs : int;
+  total_cycles : int; (* sum of processor lifetimes *)
+  attributed_cycles : int;
+  rows : row list; (* per balancer, (depth, id) ascending *)
+  by_layer : row list; (* aggregated per depth, balancer = -1 *)
+  by_category : (category * int) list;
+}
+
+let summarize t =
+  let rows =
+    Hashtbl.fold
+      (fun (depth, balancer) cycles acc ->
+        { depth; balancer; cycles = Array.copy cycles } :: acc)
+      t.cells []
+    |> List.sort (fun a b -> compare (a.depth, a.balancer) (b.depth, b.balancer))
+  in
+  let by_layer =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let acc =
+          match Hashtbl.find_opt tbl r.depth with
+          | Some a -> a
+          | None ->
+              let a = Array.make ncats 0 in
+              Hashtbl.add tbl r.depth a;
+              a
+        in
+        Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) r.cycles)
+      rows;
+    Hashtbl.fold
+      (fun depth cycles acc -> { depth; balancer = -1; cycles } :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.depth b.depth)
+  in
+  let by_category =
+    List.map
+      (fun cat ->
+        ( cat,
+          List.fold_left (fun acc r -> acc + r.cycles.(cat_index cat)) 0 rows ))
+      categories
+  in
+  {
+    procs = t.procs;
+    total_cycles = t.total;
+    attributed_cycles = t.attributed;
+    rows;
+    by_layer;
+    by_category;
+  }
+
+(* The books must balance: attributed cycles = total simulated cycles,
+   within 1% (the slack covers nothing today — the accounting is exact
+   by construction — but keeps the contract honest if an emitter ever
+   rounds). *)
+let check s =
+  if s.total_cycles = 0 then s.attributed_cycles = 0
+  else
+    let diff = abs (s.attributed_cycles - s.total_cycles) in
+    100 * diff <= s.total_cycles
+
+let share s cycles =
+  if s.total_cycles = 0 then 0.0
+  else 100.0 *. float_of_int cycles /. float_of_int s.total_cycles

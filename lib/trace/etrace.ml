@@ -1,0 +1,62 @@
+(* etrees.trace — deterministic, zero-cost-when-off structured tracing
+   for the simulator and the elimination trees.
+
+   The control surface is a single global sink, mirroring the
+   [Sim.Memory.tracer] injector-hook pattern: instrumented code guards
+   each emission with [if on lv_... then emit (...)], where [on] is a
+   two-word load-and-compare against the current level rank.  With no
+   sink installed the rank is 0, every guard is false, and no event is
+   even allocated — benches are byte-identical to an untraced build
+   (the determinism regression in test/test_trace.ml checks this).
+
+   Emission never advances simulated time: sinks run on the host,
+   outside the scheduler, so installing one cannot change any simulated
+   result — only observe it.
+
+   Levels gate *emission sites* by cost/detail ([lv_ops] < [lv_events]
+   < [lv_full]); [install] turns everything on because the attribution
+   sink needs the full-level raw intervals to balance its books.  A
+   Chrome sink applies its own rendering level downstream. *)
+
+module Event = Event
+module Histogram = Histogram
+module Attribution = Attribution
+module Chrome = Chrome
+module Json = Json
+module Level = Level
+
+type level = Level.t = Off | Ops | Events | Full
+
+let lv_ops = 1
+let lv_events = 2
+let lv_full = 3
+
+let null_sink : Event.t -> unit = fun _ -> ()
+let sink = ref null_sink
+let level_rank = ref 0
+
+let[@inline] on rank = !level_rank >= rank
+let[@inline] emit e = !sink e
+
+let install s =
+  sink := s;
+  level_rank := lv_full
+
+let uninstall () =
+  sink := null_sink;
+  level_rank := 0
+
+let installed () = !level_rank > 0
+
+(* Fan one event stream out to several sinks (e.g. attribution and
+   Chrome export at once). *)
+let tee sinks e = List.iter (fun s -> s e) sinks
+
+let with_tracing s f =
+  let saved_sink = !sink and saved_rank = !level_rank in
+  install s;
+  Fun.protect
+    ~finally:(fun () ->
+      sink := saved_sink;
+      level_rank := saved_rank)
+    f

@@ -1,0 +1,167 @@
+(* The typed trace-event vocabulary (etrees.trace).
+
+   One flat variant shared by every emitter (the simulator's scheduler,
+   the elimination balancer/tree, the locks' spin loops) and every sink
+   (cycle attribution, Chrome/Perfetto export, ad-hoc test probes).
+   Events are plain immutable values: a sink that wants state keeps its
+   own.
+
+   Timestamps are simulated cycles.  Every event names the simulated
+   processor it belongs to; interval events ([Mem_op], [Delay_done])
+   are emitted when their completion event fires and carry the whole
+   service window, so a sink never has to pair begin/end records for
+   them.  Span events (balancer/prism/toggle/spin, operations) come as
+   begin/end pairs emitted from the traversal code itself.
+
+   The vocabulary deliberately uses only ints and small variants — no
+   references into simulator or tree state — so the trace library
+   depends on nothing and everything may depend on it. *)
+
+type mem_kind = Read | Write | Rmw
+
+let mem_kind_name = function Read -> "read" | Write -> "write" | Rmw -> "rmw"
+
+(* Mirrors [Core.Location.kind] without depending on core: a token is
+   an enqueue/push traversal, an anti-token a dequeue/pop. *)
+type token_kind = Token | Anti
+
+let token_kind_name = function Token -> "token" | Anti -> "anti"
+
+(* How a prism collision attempt resolved.  [Lost] means a claim CAS
+   failed (the partner was already taken, or our own announcement was
+   claimed first and the outcome arrives as a victim-side event). *)
+type collision = Eliminated | Diffracted | Lost
+
+let collision_name = function
+  | Eliminated -> "eliminated"
+  | Diffracted -> "diffracted"
+  | Lost -> "lost"
+
+type end_reason = Finished | Aborted | Crashed
+
+let end_reason_name = function
+  | Finished -> "finished"
+  | Aborted -> "aborted"
+  | Crashed -> "crashed"
+
+type t =
+  (* -- processor lifecycle (level: ops) -- *)
+  | Proc_start of { pid : int; time : int }
+  | Proc_end of { pid : int; time : int; reason : end_reason }
+  (* -- operation lifecycle: one tree traversal (level: ops) -- *)
+  | Op_begin of { pid : int; time : int; kind : token_kind }
+  | Op_end of { pid : int; time : int; kind : token_kind; leaf : int option }
+      (* [leaf = None]: the operation was eliminated inside the tree *)
+  (* -- balancer traversal detail (level: events) -- *)
+  | Balancer_enter of {
+      pid : int;
+      time : int;
+      balancer : int;
+      depth : int;
+      kind : token_kind;
+    }
+  | Balancer_exit of {
+      pid : int;
+      time : int;
+      balancer : int;
+      depth : int;
+      wire : int option; (* None: eliminated here *)
+    }
+  | Prism_enter of { pid : int; time : int; balancer : int; layer : int }
+  | Prism_exit of { pid : int; time : int; balancer : int; layer : int }
+  | Prism_cas of {
+      pid : int;
+      time : int;
+      balancer : int;
+      partner : int;
+      initiator : bool; (* false: we were claimed by [partner] *)
+      result : collision;
+    }
+  | Toggle_wait of { pid : int; time : int; balancer : int }
+  | Toggle_pass of {
+      pid : int;
+      time : int;
+      balancer : int;
+      toggled : bool; (* false: claimed while queueing for the lock *)
+    }
+  | Spin_begin of { pid : int; time : int }
+  | Spin_end of { pid : int; time : int }
+  (* -- raw scheduler intervals (level: full) -- *)
+  | Mem_op of {
+      pid : int;
+      kind : mem_kind;
+      loc : int; (* Memory.loc id; -1 when the op had no location *)
+      issued : int; (* when the processor performed the effect *)
+      begins : int; (* service start (= issued + queueing delay) *)
+      finish : int; (* service end as scheduled *)
+      fired : int; (* actual completion (> finish under a stall) *)
+    }
+  | Delay_done of {
+      pid : int;
+      issued : int;
+      planned : int; (* requested cycles, after clamping and jitter *)
+      fired : int;
+    }
+  (* -- injected faults (level: ops) -- *)
+  | Fault_stall of { pid : int; time : int; until : int }
+  | Fault_crash of { pid : int; time : int }
+
+let pid = function
+  | Proc_start e -> e.pid
+  | Proc_end e -> e.pid
+  | Op_begin e -> e.pid
+  | Op_end e -> e.pid
+  | Balancer_enter e -> e.pid
+  | Balancer_exit e -> e.pid
+  | Prism_enter e -> e.pid
+  | Prism_exit e -> e.pid
+  | Prism_cas e -> e.pid
+  | Toggle_wait e -> e.pid
+  | Toggle_pass e -> e.pid
+  | Spin_begin e -> e.pid
+  | Spin_end e -> e.pid
+  | Mem_op e -> e.pid
+  | Delay_done e -> e.pid
+  | Fault_stall e -> e.pid
+  | Fault_crash e -> e.pid
+
+(* The event's primary timestamp: where it sits on its processor's
+   timeline.  For interval events this is the interval's start, which
+   keeps per-processor emission order monotone in [time]. *)
+let time = function
+  | Proc_start e -> e.time
+  | Proc_end e -> e.time
+  | Op_begin e -> e.time
+  | Op_end e -> e.time
+  | Balancer_enter e -> e.time
+  | Balancer_exit e -> e.time
+  | Prism_enter e -> e.time
+  | Prism_exit e -> e.time
+  | Prism_cas e -> e.time
+  | Toggle_wait e -> e.time
+  | Toggle_pass e -> e.time
+  | Spin_begin e -> e.time
+  | Spin_end e -> e.time
+  | Mem_op e -> e.issued
+  | Delay_done e -> e.issued
+  | Fault_stall e -> e.time
+  | Fault_crash e -> e.time
+
+let name = function
+  | Proc_start _ -> "proc-start"
+  | Proc_end _ -> "proc-end"
+  | Op_begin _ -> "op-begin"
+  | Op_end _ -> "op-end"
+  | Balancer_enter _ -> "balancer-enter"
+  | Balancer_exit _ -> "balancer-exit"
+  | Prism_enter _ -> "prism-enter"
+  | Prism_exit _ -> "prism-exit"
+  | Prism_cas _ -> "prism-cas"
+  | Toggle_wait _ -> "toggle-wait"
+  | Toggle_pass _ -> "toggle-pass"
+  | Spin_begin _ -> "spin-begin"
+  | Spin_end _ -> "spin-end"
+  | Mem_op _ -> "mem-op"
+  | Delay_done _ -> "delay"
+  | Fault_stall _ -> "fault-stall"
+  | Fault_crash _ -> "fault-crash"

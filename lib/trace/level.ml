@@ -1,0 +1,33 @@
+(* Trace detail levels (etrees.trace).
+
+   Levels are cumulative: each includes everything below it.
+
+   - [Off]    — nothing.
+   - [Ops]    — processor and operation lifecycle, injected faults.
+   - [Events] — plus balancer traversal detail: prism entry/exit,
+                collision CASes, toggle waits/passes, spin marks.
+   - [Full]   — plus every raw scheduler interval (memory operations
+                with their queueing delay, local delays).
+
+   Emission is always at [Full] whenever any sink is installed (cycle
+   attribution needs the raw intervals); the level selects what the
+   Chrome exporter renders and what the CLI asks for. *)
+
+type t = Off | Ops | Events | Full
+
+let rank = function Off -> 0 | Ops -> 1 | Events -> 2 | Full -> 3
+
+let to_string = function
+  | Off -> "off"
+  | Ops -> "ops"
+  | Events -> "events"
+  | Full -> "full"
+
+let of_string = function
+  | "off" -> Some Off
+  | "ops" -> Some Ops
+  | "events" -> Some Events
+  | "full" -> Some Full
+  | _ -> None
+
+let all = [ Off; Ops; Events; Full ]

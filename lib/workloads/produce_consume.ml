@@ -12,6 +12,7 @@ type point = {
   procs : int;
   throughput_per_m : int; (* produce+consume ops per 10^6 cycles *)
   latency : float;        (* average cycles per operation *)
+  lat : Etrace.Histogram.summary; (* per-operation latency distribution *)
   ops : int;              (* raw operations completed in the window *)
   elim_rate : float option; (* eliminated/entries over all levels *)
   mem : Sim.stats;        (* engine-level op counters, see Report.ops *)
@@ -29,12 +30,12 @@ let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
     (make : procs:int -> int Pool_obj.pool) =
   let pool = make ~procs in
   let ops = ref 0 in
-  let latency_total = ref 0 in
+  let lat = Etrace.Histogram.create () in
   let record t0 =
     let t1 = E.now () in
     if t1 <= horizon then begin
       incr ops;
-      latency_total := !latency_total + (t1 - t0)
+      Etrace.Histogram.add lat (t1 - t0)
     end
   in
   let stats =
@@ -61,15 +62,12 @@ let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
     failwith
       (Printf.sprintf "produce-consume: %d processors stuck (method %s)"
          stats.aborted_procs pool.Pool_obj.name);
-  let latency =
-    if !ops = 0 then 0.0
-    else float_of_int !latency_total /. float_of_int !ops
-  in
   {
     procs;
     throughput_per_m =
       int_of_float (float_of_int !ops *. 1e6 /. float_of_int horizon);
-    latency;
+    latency = Etrace.Histogram.mean lat;
+    lat = Etrace.Histogram.summary lat;
     ops = !ops;
     elim_rate = elim_rate_of pool;
     mem = stats;

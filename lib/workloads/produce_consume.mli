@@ -6,6 +6,8 @@ type point = {
   procs : int;
   throughput_per_m : int; (** produce+consume ops per 10^6 cycles *)
   latency : float;        (** average cycles per operation *)
+  lat : Etrace.Histogram.summary;
+      (** per-operation latency distribution (p50/p90/p99) *)
   ops : int;              (** raw operations completed in the window *)
   elim_rate : float option;
       (** eliminated/entries over all tree levels; [None] for methods

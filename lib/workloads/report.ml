@@ -43,6 +43,11 @@ let table ~title ~row_label ~columns rows =
 let ops (s : Sim.stats) =
   Printf.sprintf "%dr/%dw/%drmw" s.Sim.reads s.Sim.writes s.Sim.rmws
 
+(* A latency-distribution cell: median with the tail behind it. *)
+let latency_cell (h : Etrace.Histogram.summary) =
+  Printf.sprintf "%d/%d/%d" h.Etrace.Histogram.p50 h.Etrace.Histogram.p90
+    h.Etrace.Histogram.p99
+
 let float1 x = Printf.sprintf "%.1f" x
 let float2 x = Printf.sprintf "%.2f" x
 let percent x = Printf.sprintf "%.1f%%" (100.0 *. x)
@@ -116,6 +121,82 @@ let json_to_string j =
   Buffer.contents buf
 
 let opt f = function None -> Null | Some v -> f v
+
+(* ------------------------------------------------------------------ *)
+(* Trace-derived reporting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_json (h : Etrace.Histogram.summary) =
+  Obj
+    [
+      ("count", Int h.Etrace.Histogram.count);
+      ("mean", Float h.Etrace.Histogram.mean);
+      ("p50", Int h.Etrace.Histogram.p50);
+      ("p90", Int h.Etrace.Histogram.p90);
+      ("p99", Int h.Etrace.Histogram.p99);
+      ("min", Int h.Etrace.Histogram.min);
+      ("max", Int h.Etrace.Histogram.max);
+    ]
+
+(* The flamegraph-style cycle-attribution table: one row per tree
+   layer (plus the outside-the-tree pseudo-layer and a total row), one
+   column per category, each cell showing the share of total simulated
+   cycles spent there. *)
+let attribution_table ~title (s : Etrace.Attribution.summary) =
+  let module A = Etrace.Attribution in
+  let share c = 100.0 *. float_of_int c /. float_of_int (max 1 s.A.total_cycles) in
+  let cell c = Printf.sprintf "%.1f%%" (share c) in
+  let row (r : A.row) =
+    let label =
+      if r.A.depth < 0 then "outside"
+      else Printf.sprintf "layer %d" r.A.depth
+    in
+    let cells = Array.to_list (Array.map cell r.A.cycles) in
+    (label, cells @ [ cell (A.row_total r) ])
+  in
+  let total_row =
+    let by_cat = List.map (fun (_, c) -> cell c) s.A.by_category in
+    ("all", by_cat @ [ cell s.A.attributed_cycles ])
+  in
+  let columns = List.map A.category_name A.categories @ [ "total" ] in
+  let header =
+    Printf.sprintf "%s
+total %d simulated cycles over %d procs (%d attributed)"
+      title s.A.total_cycles s.A.procs s.A.attributed_cycles
+  in
+  table ~title:header ~row_label:"where" ~columns
+    (List.map row s.A.by_layer @ [ total_row ])
+
+let attribution_json (s : Etrace.Attribution.summary) =
+  let module A = Etrace.Attribution in
+  let cats (cycles : int array) =
+    List.map
+      (fun cat -> (A.category_name cat, Int cycles.(A.cat_index cat)))
+      A.categories
+  in
+  Obj
+    [
+      ("procs", Int s.A.procs);
+      ("total_cycles", Int s.A.total_cycles);
+      ("attributed_cycles", Int s.A.attributed_cycles);
+      ( "by_category",
+        Obj (List.map (fun (cat, c) -> (A.category_name cat, Int c)) s.A.by_category) );
+      ( "by_layer",
+        Arr
+          (List.map
+             (fun (r : A.row) ->
+               Obj (("depth", Int r.A.depth) :: cats r.A.cycles))
+             s.A.by_layer) );
+      ( "balancers",
+        Arr
+          (List.map
+             (fun (r : A.row) ->
+               Obj
+                 (("depth", Int r.A.depth)
+                 :: ("balancer", Int r.A.balancer)
+                 :: cats r.A.cycles))
+             s.A.rows) );
+    ]
 
 let write_json ~file j =
   let oc = open_out file in

@@ -13,6 +13,9 @@ val ops : Sim.stats -> string
 (** One-line [reads/writes/rmws] summary of a run's engine-level
     operation counters, e.g. ["1052r/312w/97rmw"]. *)
 
+val latency_cell : Etrace.Histogram.summary -> string
+(** ["p50/p90/p99"] of a latency distribution, e.g. ["41/96/204"]. *)
+
 val float1 : float -> string
 val float2 : float -> string
 val percent : float -> string
@@ -36,3 +39,15 @@ val json_to_string : json -> string
 val opt : ('a -> json) -> 'a option -> json
 val write_json : file:string -> json -> unit
 (** Writes [j] followed by a newline, overwriting [file]. *)
+
+(** {2 Trace-derived reporting} *)
+
+val histogram_json : Etrace.Histogram.summary -> json
+
+val attribution_table : title:string -> Etrace.Attribution.summary -> string
+(** The flamegraph-style cycle-attribution table: one row per tree
+    layer (plus the outside-the-tree pseudo-layer and a total row),
+    one column per {!Etrace.Attribution.category}, cells as shares of
+    total simulated cycles. *)
+
+val attribution_json : Etrace.Attribution.summary -> json

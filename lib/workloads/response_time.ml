@@ -8,7 +8,12 @@
    dequeued; the metric is the elapsed time normalized by the number of
    dequeues each dequeuer performed.  This is where the deterministic
    O(log w) routing of elimination trees crushes the randomized local
-   piles: RSU dequeuers must find the few populated piles by luck. *)
+   piles: RSU dequeuers must find the few populated piles by luck.
+
+   Besides the paper's normalized-elapsed metric, each element's
+   individual response time (enqueue to dequeue, in cycles) feeds a
+   log-bucketed histogram ({!Etrace.Histogram}), so the report can show
+   p50/p90/p99 instead of only the average-shaped normalization. *)
 
 module E = Sim.Engine
 
@@ -17,6 +22,7 @@ type point = {
   elapsed : int;
   normalized : float; (* elapsed / (dequeues per dequeuer) *)
   consumed : int;
+  rt : Etrace.Histogram.summary; (* per-element response times *)
 }
 
 let run ?(seed = 1) ?(total = 2560) ~procs
@@ -30,6 +36,10 @@ let run ?(seed = 1) ?(total = 2560) ~procs
   let stop () = !consumed >= total in
   (* One flag per in-flight element, indexed by enqueuer. *)
   let taken = Array.make enqueuers false in
+  (* Host-side response-time bookkeeping: enqueue stamp per in-flight
+     element, histogram of dequeue-minus-enqueue times. *)
+  let enq_time = Array.make enqueuers 0 in
+  let rt = Etrace.Histogram.create () in
   let stats =
     Sim.run ~seed ~procs ~abort_after:2_000_000_000 (fun p ->
         if p < enqueuers then begin
@@ -37,6 +47,7 @@ let run ?(seed = 1) ?(total = 2560) ~procs
           let rec produce () =
             if not (stop ()) then begin
               taken.(p) <- false;
+              enq_time.(p) <- E.now ();
               pool.Pool_obj.enqueue p;
               let rec await () =
                 if (not taken.(p)) && not (stop ()) then begin
@@ -56,6 +67,7 @@ let run ?(seed = 1) ?(total = 2560) ~procs
               (match pool.Pool_obj.dequeue ~stop with
               | Some id ->
                   incr consumed;
+                  Etrace.Histogram.add rt (E.now () - enq_time.(id));
                   if stop () then finish_time := E.now ();
                   taken.(id) <- true
               | None -> ());
@@ -76,6 +88,7 @@ let run ?(seed = 1) ?(total = 2560) ~procs
     elapsed = !finish_time;
     normalized = float_of_int !finish_time /. per_dequeuer;
     consumed = !consumed;
+    rt = Etrace.Histogram.summary rt;
   }
 
 let sweep ?seed ?total ~proc_counts make =

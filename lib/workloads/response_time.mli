@@ -8,6 +8,8 @@ type point = {
   elapsed : int;
   normalized : float; (** elapsed / (dequeues per dequeuer) *)
   consumed : int;
+  rt : Etrace.Histogram.summary;
+      (** per-element response times (enqueue to dequeue, cycles) *)
 }
 
 val run :

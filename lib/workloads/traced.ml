@@ -1,0 +1,32 @@
+(* Running workloads under tracing sinks (etrees.trace).
+
+   [run] installs an attribution sink — and, when a [chrome_level] is
+   given, a Chrome-export sink — around an arbitrary thunk, restoring
+   the previous trace state afterwards.  Emission into the sinks never
+   costs simulated cycles, so the thunk's simulated results are
+   identical to an untraced run; only host time is spent.
+
+   [procs] must cover every simulated processor id the thunk can spawn
+   (events from higher pids are ignored by the attribution sink, which
+   would unbalance its books). *)
+
+type 'a traced = {
+  value : 'a;
+  attribution : Etrace.Attribution.summary;
+  chrome : Etrace.Chrome.t option; (* present iff [chrome_level] given *)
+}
+
+let run ?chrome_level ~procs f =
+  let attr = Etrace.Attribution.create ~procs in
+  let chrome =
+    Option.map (fun level -> Etrace.Chrome.create ~level ()) chrome_level
+  in
+  let sinks =
+    Etrace.Attribution.sink attr
+    ::
+    (match chrome with
+    | Some c -> [ Etrace.Chrome.on_event c ]
+    | None -> [])
+  in
+  let value = Etrace.with_tracing (Etrace.tee sinks) f in
+  { value; attribution = Etrace.Attribution.summarize attr; chrome }

@@ -1,0 +1,17 @@
+(** Running workloads under tracing sinks: cycle attribution, plus
+    optional Chrome/Perfetto export (see docs/TRACING.md). *)
+
+type 'a traced = {
+  value : 'a;  (** the thunk's own result *)
+  attribution : Etrace.Attribution.summary;
+  chrome : Etrace.Chrome.t option;
+      (** present iff [chrome_level] was given; render with
+          {!Etrace.Chrome.write} or {!Etrace.Chrome.contents} *)
+}
+
+val run : ?chrome_level:Etrace.Level.t -> procs:int -> (unit -> 'a) -> 'a traced
+(** [run ~procs f] executes [f] with tracing installed and folds its
+    event stream into a cycle-attribution summary.  [procs] must cover
+    every simulated processor id [f] can spawn.  The previous trace
+    state is restored on exit (including on exceptions); the simulated
+    results of [f] are identical to an untraced run. *)

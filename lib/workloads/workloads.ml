@@ -16,7 +16,9 @@
     - {!Methods} — constructors for every compared method with the
       paper's parameters, plus the named method registries;
     - {!Pool_obj} — first-class pool/counter plumbing;
-    - {!Report} — plain-text tables. *)
+    - {!Report} — plain-text tables and JSON emission;
+    - {!Traced} — running any of the above under tracing sinks
+      (cycle attribution, Chrome/Perfetto export). *)
 
 module Pool_obj = Pool_obj
 module Methods = Methods
@@ -29,3 +31,4 @@ module Table1 = Table1
 module Lifo_fidelity = Lifo_fidelity
 module Load_sweep = Load_sweep
 module Report = Report
+module Traced = Traced

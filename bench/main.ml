@@ -81,14 +81,14 @@ let trace_level = ref Etrace.Level.Events
 (* Figures 7 and 8: produce-consume                                    *)
 (* ------------------------------------------------------------------ *)
 
-let produce_consume_tables ~scale ~workload =
+let produce_consume_tables ?(races = false) ~scale ~workload () =
   let methods = W.Methods.produce_consume_methods in
   let columns = List.map method_name methods in
   let series =
     List.map
       (fun make ->
         progress "produce-consume W=%d: %s" workload (method_name make);
-        W.Produce_consume.sweep ~horizon:scale.horizon ~workload
+        W.Produce_consume.sweep ~horizon:scale.horizon ~workload ~races
           ~proc_counts:scale.counts make)
       methods
   in
@@ -145,6 +145,8 @@ let produce_consume_tables ~scale ~workload =
                       R.opt
                         (fun r -> R.Float r)
                         p.W.Produce_consume.elim_rate );
+                    ( "races",
+                      R.opt (fun n -> R.Int n) p.W.Produce_consume.races );
                   ]
                  @ mem_fields p.W.Produce_consume.mem))
              points)
@@ -189,7 +191,7 @@ let traced_fig7 scale =
 
 let fig7 scale =
   print_string "== Figure 7: produce-consume, Workload = 0 ==\n\n";
-  let text, json = produce_consume_tables ~scale ~workload:0 in
+  let text, json = produce_consume_tables ~races:true ~scale ~workload:0 () in
   print_string text;
   print_newline ();
   let extra =
@@ -207,7 +209,7 @@ let fig8 scale =
   let json =
     List.concat_map
       (fun workload ->
-        let text, json = produce_consume_tables ~scale ~workload in
+        let text, json = produce_consume_tables ~scale ~workload () in
         print_string text;
         print_newline ();
         json)
@@ -429,6 +431,7 @@ let chaos_point_json ~level ~label (p : W.Chaos.point) =
        ("ops", R.Int p.W.Chaos.ops);
        ("started", R.Int p.W.Chaos.started);
        ("elim_rate", R.opt (fun r -> R.Float r) p.W.Chaos.elim_rate);
+       ("races", R.opt (fun n -> R.Int n) p.W.Chaos.races);
        ("starved", R.Int p.W.Chaos.starved);
        ("crashed", R.Int p.W.Chaos.crashed);
        ("stuck", R.Int p.W.Chaos.stuck);
@@ -450,7 +453,7 @@ let chaos scale =
   let procs = 64 and fault_seed = 7 in
   progress "chaos: procs=%d fault-seed=%d" procs fault_seed;
   let levels =
-    W.Chaos.sweep ~fault_seed ~horizon:scale.horizon ~procs ()
+    W.Chaos.sweep ~fault_seed ~horizon:scale.horizon ~procs ~races:true ()
   in
   List.iter
     (fun (level, label, points) ->

@@ -5,8 +5,11 @@
 
    Each PATH is an .ml file or a directory scanned recursively for .ml
    files.  Output is one machine-readable line per violation
-   (file:line:col: [rule] message); exit status 1 if any violation
-   survives the allowlist, 2 on parse/usage errors. *)
+   (file:line:col: [rule] message), globally sorted by (file, line,
+   col, rule) and deduplicated — overlapping PATH arguments and
+   repeated files cannot change the report, so diffs against a golden
+   run are stable.  Exit status 1 if any violation survives the
+   allowlist, 2 on parse/usage errors. *)
 
 let usage = "etrees_lint [--allowlist FILE] PATH..."
 
@@ -38,8 +41,19 @@ let () =
       | Some f -> Analysis.Lint_rules.load_allowlist f
       | None -> []
     in
-    let files = List.concat_map ml_files_under (List.rev !paths) in
-    let violations = List.concat_map Analysis.Lint_rules.scan_file files in
+    let files =
+      List.concat_map ml_files_under (List.rev !paths)
+      |> List.sort_uniq compare
+    in
+    let violations =
+      List.concat_map Analysis.Lint_rules.scan_file files
+      |> List.sort_uniq
+           (fun (a : Analysis.Lint_rules.violation)
+                (b : Analysis.Lint_rules.violation) ->
+             compare
+               (a.file, a.line, a.col, Analysis.Lint_rules.rule_name a.rule)
+               (b.file, b.line, b.col, Analysis.Lint_rules.rule_name b.rule))
+    in
     let kept, suppressed, unused =
       Analysis.Lint_rules.apply_allowlist allows violations
     in

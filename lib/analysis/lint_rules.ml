@@ -33,6 +33,7 @@ type rule =
   | Array_mut     (* Array.set & friends, a.(i) <- v *)
   | Atomic_use    (* direct Atomic.* *)
   | Mutable_field (* mutable field declaration *)
+  | Sim_bypass    (* direct Sim/Memory/Scheduler mention *)
 
 let rule_name = function
   | Ref_cell -> "ref"
@@ -40,6 +41,7 @@ let rule_name = function
   | Array_mut -> "array-set"
   | Atomic_use -> "atomic"
   | Mutable_field -> "mutable-field"
+  | Sim_bypass -> "sim-bypass"
 
 let rule_of_name = function
   | "ref" -> Some Ref_cell
@@ -47,6 +49,7 @@ let rule_of_name = function
   | "array-set" -> Some Array_mut
   | "atomic" -> Some Atomic_use
   | "mutable-field" -> Some Mutable_field
+  | "sim-bypass" -> Some Sim_bypass
   | _ -> None
 
 type violation = {
@@ -72,6 +75,14 @@ let array_mutators =
   [ ("Array", "set"); ("Array", "unsafe_set"); ("Array", "fill");
     ("Array", "blit"); ("Bytes", "set"); ("Bytes", "unsafe_set");
     ("Bytes", "fill"); ("Bytes", "blit") ]
+
+(* Modules an engine-parametric structure must never name: anything it
+   needs from the simulator has to arrive through its [Engine.S]
+   functor parameter, or the same code silently stops being runnable
+   on [Engine.Native] — and the model checker's controlled scheduler
+   never sees its accesses. *)
+let sim_internal_modules =
+  [ "Sim"; "Memory"; "Scheduler"; "Engine_impl"; "Event_heap" ]
 
 let rec longident_head = function
   | Longident.Lident s -> s
@@ -106,6 +117,14 @@ let classify_ident (lid : Longident.t) : (rule * string) option =
         ( Atomic_use,
           "direct `Atomic` use bypasses the simulated memory model; use the \
            engine's cell operations" )
+  | lid when List.mem (longident_head lid) sim_internal_modules ->
+      Some
+        ( Sim_bypass,
+          Printf.sprintf
+            "`%s` reaches into the simulator instead of going through the \
+             Engine.S functor parameter; structures must stay \
+             engine-parametric"
+            (longident_head lid) )
   | _ -> None
 
 let scan_structure ~file (str : Parsetree.structure) : violation list =

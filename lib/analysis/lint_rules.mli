@@ -12,6 +12,10 @@ type rule =
   | Array_mut     (** [Array.set] & friends, [a.(i) <- v] *)
   | Atomic_use    (** direct [Atomic.*] *)
   | Mutable_field (** [mutable] field declaration *)
+  | Sim_bypass
+      (** naming [Sim]/[Memory]/[Scheduler]/[Engine_impl]/[Event_heap]
+          from engine-parametric code: the simulator must only be
+          reached through the [Engine.S] functor parameter *)
 
 val rule_name : rule -> string
 val rule_of_name : string -> rule option

@@ -1,0 +1,475 @@
+(* Stateless exhaustive-interleaving explorer (etrees.check).
+
+   Replaces the simulator's time-ordered scheduler with a controlled
+   one (Sim.Scheduler's [controller] hook): every shared-memory access
+   parks until the explorer picks which processor commits next, so a
+   pid sequence fully determines an interleaving.  The explorer
+   re-executes the scenario from scratch under systematically chosen
+   schedules — classic stateless model checking — with two reduction
+   modes:
+
+   - [Naive]: every enabled processor is a backtrack point at every
+     state (full enumeration of the interleaving tree).
+   - [Dpor]: Flanagan–Godefroid dynamic partial-order reduction with
+     sleep sets.  Backtrack points are added only where a race is
+     observed (two accesses to the same location, at least one a
+     write/rmw, unordered by happens-before); sleep sets prune
+     re-exploration of independent siblings.
+
+   Happens-before is tracked with vector clocks: one clock per
+   processor, plus per-location writer and (accumulated) reader
+   clocks.  Dependent accesses to a single location are totally
+   ordered amongst themselves in any one execution, so the "latest
+   dependent transition" is the first dependent entry of the
+   location's newest-first access log.
+
+   Blocking (spin loops re-reading an unchanged location) is detected
+   with the location epoch fingerprint that [Memory.commit_stamp]
+   maintains: a processor whose last [spin_threshold] accesses hit one
+   location without its epoch changing — and whose pending access is
+   again a read/rmw of that still-unchanged location — is *disabled*.
+   A state where every unfinished processor is disabled is a deadlock
+   (for the paper's structures: livelock by spinning, e.g. the
+   centralized pool of Figure 5 polling an empty slot). *)
+
+module S = Sim.Scheduler
+
+(* Minimal growable array (no Dynarray dependency). *)
+module Vec = struct
+  type 'a t = { mutable a : 'a array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+  let length t = t.len
+  let get t i = t.a.(i)
+
+  let push t x =
+    if t.len = Array.length t.a then begin
+      let a = Array.make (max 8 (2 * Array.length t.a)) x in
+      Array.blit t.a 0 a 0 t.len;
+      t.a <- a
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let truncate t n = if n < t.len then t.len <- n
+  let to_array t = Array.sub t.a 0 t.len
+end
+
+type instance = {
+  body : int -> unit;  (** per-processor program *)
+  at_quiescence : unit -> Monitor.verdict list;
+      (** monitors over the final state of a completed execution *)
+}
+
+type program = { name : string; procs : int; prepare : unit -> instance }
+(** [prepare] must build a fresh structure (and ledger) per execution —
+    stateless re-execution replays the program from scratch. *)
+
+type status =
+  | Complete
+  | Deadlocked of (int * int) list
+      (** every unfinished processor spin-blocked: (pid, location id) *)
+  | Sleep_blocked  (** pruned by the sleep set: a redundant execution *)
+  | Step_budget  (** per-run step cap hit (unbounded spinning) *)
+
+type run = {
+  schedule : int array;  (** committed accesses, as chosen pids in order *)
+  status : status;
+  violations : Monitor.violation list;
+}
+
+type frame = {
+  f_enabled : int list;
+  f_sleep : int list;
+  mutable f_backtrack : int list;
+  mutable f_done : int list;
+  mutable f_chosen : int;
+}
+
+type mode = Dpor | Naive | Replay of int array
+
+let is_write = function S.Acc_write | S.Acc_rmw -> true | S.Acc_read -> false
+
+let dependent (k1, (l1 : Sim.Memory.loc)) (k2, (l2 : Sim.Memory.loc)) =
+  l1.id = l2.id && (is_write k1 || is_write k2)
+
+let run_once ?(seed = 0x5eed) ~spin_threshold ~max_steps ~mode ~frames
+    (program : program) =
+  let n = program.procs in
+  let inst = program.prepare () in
+  let sched = Vec.create () in
+  let status = ref Complete in
+  (* Vector clocks: per-processor, per-location writer, per-location
+     accumulated readers.  Step indices are 1-based. *)
+  let proc_cv = Array.init n (fun _ -> Array.make n 0) in
+  let w_cv : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let r_cv : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  (* Per-location access log, newest first: (step, is_write, pid). *)
+  let log : (int, (int * bool * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let join dst src = Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src in
+  (* Spin-block detection state. *)
+  let spin_loc = Array.make n (-1) in
+  let spin_fp = Array.make n min_int in
+  let spin_run = Array.make n 0 in
+  let last_fired = ref None in
+  let note_spin () =
+    match !last_fired with
+    | None -> ()
+    | Some (p, (l : Sim.Memory.loc)) ->
+        last_fired := None;
+        (* The fingerprint is read *after* the access committed: an
+           access that left the location's epoch exactly where this
+           processor last saw it made no progress. *)
+        if l.id = spin_loc.(p) && l.epoch_seq = spin_fp.(p) then
+          spin_run.(p) <- spin_run.(p) + 1
+        else begin
+          spin_loc.(p) <- l.id;
+          spin_fp.(p) <- l.epoch_seq;
+          spin_run.(p) <- 1
+        end
+  in
+  let blocked p (a : S.access) =
+    a.S.acc_kind <> S.Acc_write
+    && spin_run.(p) >= spin_threshold
+    && a.S.acc_loc.Sim.Memory.id = spin_loc.(p)
+    && a.S.acc_loc.Sim.Memory.epoch_seq = spin_fp.(p)
+  in
+  let cur_sleep = ref [] in
+  let add_backtrack i p =
+    if i >= 0 && i < Vec.length frames then begin
+      let f = Vec.get frames i in
+      if List.mem p f.f_enabled then begin
+        if not (List.mem p f.f_backtrack) then f.f_backtrack <- p :: f.f_backtrack
+      end
+      else
+        List.iter
+          (fun q ->
+            if not (List.mem q f.f_backtrack) then f.f_backtrack <- q :: f.f_backtrack)
+          f.f_enabled
+    end
+  in
+  (* Is there a race between an executed access and [p]'s pending one?
+     Scan the location's log newest-first for the latest dependent
+     transition; it races iff by another processor and not ordered
+     before [p]'s next transition by happens-before. *)
+  let race_check p (a : S.access) =
+    let wr = is_write a.S.acc_kind in
+    let rec scan = function
+      | [] -> ()
+      | (step, w, q) :: rest ->
+          if w || wr then begin
+            if q <> p && proc_cv.(p).(q) < step then add_backtrack (step - 1) p
+          end
+          else scan rest
+    in
+    scan (Option.value ~default:[] (Hashtbl.find_opt log a.S.acc_loc.Sim.Memory.id))
+  in
+  let record p (a : S.access) =
+    let id = a.S.acc_loc.Sim.Memory.id in
+    let step = Vec.length sched + 1 in
+    let wr = is_write a.S.acc_kind in
+    let cv = proc_cv.(p) in
+    (match Hashtbl.find_opt w_cv id with Some w -> join cv w | None -> ());
+    if wr then (match Hashtbl.find_opt r_cv id with Some r -> join cv r | None -> ());
+    cv.(p) <- step;
+    if wr then Hashtbl.replace w_cv id (Array.copy cv)
+    else begin
+      let r =
+        match Hashtbl.find_opt r_cv id with
+        | Some r -> r
+        | None ->
+            let r = Array.make n 0 in
+            Hashtbl.replace r_cv id r;
+            r
+      in
+      join r cv
+    end;
+    Hashtbl.replace log id
+      ((step, wr, p) :: Option.value ~default:[] (Hashtbl.find_opt log id));
+    Vec.push sched p;
+    last_fired := Some (p, a.S.acc_loc)
+  in
+  let choose (runnable : (int * S.access) list) : S.choice =
+    note_spin ();
+    let d = Vec.length sched in
+    if d >= max_steps then begin
+      status := Step_budget;
+      S.Quit
+    end
+    else begin
+      (match mode with
+      | Dpor -> List.iter (fun (p, a) -> race_check p a) runnable
+      | Naive | Replay _ -> ());
+      let enabled =
+        List.filter_map
+          (fun (p, a) -> if blocked p a then None else Some p)
+          runnable
+      in
+      if enabled = [] then begin
+        status :=
+          Deadlocked
+            (List.map (fun (p, a) -> (p, a.S.acc_loc.Sim.Memory.id)) runnable);
+        S.Quit
+      end
+      else
+        let pick =
+          match mode with
+          | Replay forced ->
+              if d < Array.length forced && List.mem forced.(d) enabled then
+                Some forced.(d)
+              else Some (List.hd enabled)
+          | Dpor | Naive ->
+              if d < Vec.length frames then begin
+                (* Replaying the committed prefix of the exploration. *)
+                let f = Vec.get frames d in
+                assert (List.mem f.f_chosen enabled);
+                Some f.f_chosen
+              end
+              else begin
+                match
+                  List.filter (fun p -> not (List.mem p !cur_sleep)) enabled
+                with
+                | [] -> None
+                | p :: _ ->
+                    Vec.push frames
+                      {
+                        f_enabled = enabled;
+                        f_sleep = !cur_sleep;
+                        f_backtrack =
+                          (match mode with Naive -> enabled | _ -> [ p ]);
+                        f_done = [ p ];
+                        f_chosen = p;
+                      };
+                    Some p
+              end
+        in
+        match pick with
+        | None ->
+            status := Sleep_blocked;
+            S.Quit
+        | Some p ->
+            let a = List.assoc p runnable in
+            (match mode with
+            | Dpor ->
+                (* Sleep set of the successor: explored siblings join,
+                   anything dependent on the chosen access wakes. *)
+                let f = Vec.get frames d in
+                let base =
+                  f.f_sleep
+                  @ List.filter
+                      (fun q -> q <> p && not (List.mem q f.f_sleep))
+                      f.f_done
+                in
+                cur_sleep :=
+                  List.filter
+                    (fun q ->
+                      match List.assoc_opt q runnable with
+                      | Some aq ->
+                          not
+                            (dependent
+                               (aq.S.acc_kind, aq.S.acc_loc)
+                               (a.S.acc_kind, a.S.acc_loc))
+                      | None -> false)
+                    base
+            | Naive | Replay _ -> ());
+            record p a;
+            S.Fire p
+    end
+  in
+  let result =
+    match
+      Sim.run ~seed ~config:Sim.Memory.uniform_config ~controller:choose
+        ~procs:n inst.body
+    with
+    | (_ : Sim.stats) -> Ok ()
+    | exception e -> Error e
+  in
+  let violations =
+    match result with
+    | Error e ->
+        [ { Monitor.property = "no-crash"; detail = Printexc.to_string e } ]
+    | Ok () -> (
+        match !status with
+        | Complete -> Monitor.violations_of (inst.at_quiescence ())
+        | Deadlocked procs ->
+            [
+              {
+                Monitor.property = "deadlock";
+                detail =
+                  Printf.sprintf
+                    "every unfinished processor is spin-blocked: %s"
+                    (String.concat ", "
+                       (List.map
+                          (fun (p, l) -> Printf.sprintf "p%d on loc %d" p l)
+                          procs));
+              };
+            ]
+        | Sleep_blocked | Step_budget -> [])
+  in
+  { schedule = Vec.to_array sched; status = !status; violations }
+
+type outcome = {
+  runs : int;  (** executions performed (sleep-blocked ones included) *)
+  complete : int;
+  deadlocks : int;
+  sleep_blocked : int;
+  budget_hits : int;
+  max_depth : int;
+  capped : bool;  (** stopped at [max_interleavings] before exhausting *)
+  counterexample : (Monitor.violation * run) option;
+}
+
+let explore ?(dpor = true) ?(max_interleavings = 100_000) ?(max_steps = 20_000)
+    ?(spin_threshold = 3) ?(seed = 0x5eed) ?(stop_on_violation = true) program =
+  let frames = Vec.create () in
+  let mode = if dpor then Dpor else Naive in
+  let runs = ref 0
+  and complete = ref 0
+  and deadlocks = ref 0
+  and sleep_blocked = ref 0
+  and budget_hits = ref 0
+  and max_depth = ref 0 in
+  let capped = ref false in
+  let cex = ref None in
+  (try
+     let exhausted = ref false in
+     while not !exhausted do
+       if !runs >= max_interleavings then begin
+         capped := true;
+         raise Exit
+       end;
+       let r = run_once ~seed ~spin_threshold ~max_steps ~mode ~frames program in
+       incr runs;
+       if Array.length r.schedule > !max_depth then
+         max_depth := Array.length r.schedule;
+       (match r.status with
+       | Complete -> incr complete
+       | Deadlocked _ -> incr deadlocks
+       | Sleep_blocked -> incr sleep_blocked
+       | Step_budget -> incr budget_hits);
+       (match r.violations with
+       | v :: _ when !cex = None ->
+           cex := Some (v, r);
+           if stop_on_violation then raise Exit
+       | _ -> ());
+       (* Backtrack: deepest frame with an unexplored candidate. *)
+       let rec pop () =
+         if Vec.length frames = 0 then exhausted := true
+         else begin
+           let f = Vec.get frames (Vec.length frames - 1) in
+           match
+             List.filter
+               (fun p ->
+                 (not (List.mem p f.f_done)) && not (List.mem p f.f_sleep))
+               f.f_backtrack
+           with
+           | [] ->
+               Vec.truncate frames (Vec.length frames - 1);
+               pop ()
+           | c :: cs ->
+               let p = List.fold_left min c cs in
+               f.f_chosen <- p;
+               f.f_done <- p :: f.f_done
+         end
+       in
+       pop ()
+     done
+   with Exit -> ());
+  {
+    runs = !runs;
+    complete = !complete;
+    deadlocks = !deadlocks;
+    sleep_blocked = !sleep_blocked;
+    budget_hits = !budget_hits;
+    max_depth = !max_depth;
+    capped = !capped;
+    counterexample = !cex;
+  }
+
+let replay ?(seed = 0x5eed) ?(spin_threshold = 3) ?(max_steps = 20_000) program
+    schedule =
+  run_once ~seed ~spin_threshold ~max_steps ~mode:(Replay schedule)
+    ~frames:(Vec.create ()) program
+
+(* --- Counterexample minimization and rendering ----------------------- *)
+
+let switches a =
+  let s = ref 0 in
+  Array.iteri (fun i p -> if i > 0 && a.(i - 1) <> p then incr s) a;
+  !s
+
+(* Greedy schedule minimization: try adjacent transpositions that
+   reduce the context-switch count, keeping a candidate only if its
+   replay still exhibits the same property violation.  Replay is
+   tolerant (an infeasible forced pid falls back to the smallest
+   enabled one), so we re-read the schedule the replay actually
+   executed. *)
+let minimize ?seed ?spin_threshold ?max_steps program
+    (v : Monitor.violation) schedule =
+  let still_violates r =
+    List.exists
+      (fun (v' : Monitor.violation) -> v'.property = v.property)
+      r.violations
+  in
+  let best = ref schedule in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 32 do
+    improved := false;
+    incr passes;
+    let i = ref 0 in
+    while !i < Array.length !best - 1 do
+      let b = !best in
+      if b.(!i) <> b.(!i + 1) then begin
+        let cand = Array.copy b in
+        let t = cand.(!i) in
+        cand.(!i) <- cand.(!i + 1);
+        cand.(!i + 1) <- t;
+        if switches cand < switches b then begin
+          let r = replay ?seed ?spin_threshold ?max_steps program cand in
+          if still_violates r && switches r.schedule < switches b then begin
+            best := r.schedule;
+            improved := true
+          end
+        end
+      end;
+      incr i
+    done
+  done;
+  !best
+
+(* Run-length rendering: "0x5,1x3" = five steps of p0 then three of
+   p1.  [parse_schedule] also accepts bare pids ("0,1,0"). *)
+let format_schedule a =
+  let b = Buffer.create 64 in
+  let n = Array.length a in
+  let i = ref 0 in
+  while !i < n do
+    let p = a.(!i) in
+    let j = ref !i in
+    while !j < n && a.(!j) = p do incr j done;
+    if Buffer.length b > 0 then Buffer.add_char b ',';
+    Buffer.add_string b (string_of_int p);
+    Buffer.add_char b 'x';
+    Buffer.add_string b (string_of_int (!j - !i));
+    i := !j
+  done;
+  Buffer.contents b
+
+let parse_schedule s =
+  let s = String.trim s in
+  if s = "" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.concat_map (fun seg ->
+           let seg = String.trim seg in
+           match String.index_opt seg 'x' with
+           | Some k ->
+               let p = int_of_string (String.sub seg 0 k) in
+               let c =
+                 int_of_string (String.sub seg (k + 1) (String.length seg - k - 1))
+               in
+               if c < 0 then invalid_arg "parse_schedule: negative count";
+               List.init c (fun _ -> p)
+           | None -> [ int_of_string seg ])
+    |> Array.of_list

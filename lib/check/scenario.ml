@@ -1,0 +1,307 @@
+(* Checkable scenarios (etrees.check): small closed programs over the
+   paper's structures, each paired with the monitors that define its
+   correctness.  Every [prepare] builds a fresh structure and ledger —
+   the explorer re-executes from scratch per interleaving.
+
+   Shapes are kept tractable: enqueuers/dequeuers do [ops] operations
+   each; pool dequeues use a single bounded attempt (stop = always)
+   so the scenarios themselves cannot hang, while the centralized
+   baseline polls unboundedly — exactly the blocking the checker's
+   spin detection is there to find. *)
+
+module E = Sim.Engine
+module Pool = Core.Elim_pool.Make (E)
+module Stack = Core.Elim_stack.Make (E)
+module Tree = Core.Elim_tree.Make (E)
+module Counter = Core.Inc_dec_counter.Make (E)
+module Central = Baselines.Central_pool.Make (E)
+module Naive_counter = Sync.Naive_counter.Make (E)
+
+type t = {
+  name : string;
+  describe : string;
+  make : procs:int -> width:int -> ops:int -> Explore.program;
+}
+
+(* Values are tagged by producer so duplicate/phantom detection is
+   exact: processor [pid]'s [i]-th enqueue carries [pid * 100 + i]. *)
+let value pid i = (pid * 100) + i
+
+(* Probe a structure's residue (engine-level reads) quiescently, under
+   a fresh single-processor run after the controlled one finished. *)
+let probe f =
+  let r = ref 0 in
+  let (_ : Sim.stats) =
+    Sim.run ~procs:1 ~config:Sim.Memory.uniform_config (fun _ -> r := f ())
+  in
+  !r
+
+(* Shared shape for the two elimination pools: even pids enqueue [ops]
+   values, odd pids attempt [ops] bounded dequeues.  Duplicates and
+   phantoms are flagged at the dequeue's exit point; conservation and
+   the step property are evaluated at quiescence. *)
+let pool_instance ~ops ~mode ~enq ~deq ~residue ~stats =
+  let enqueued = ref [] and dequeued = ref [] in
+  let exit_faults = ref [] in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let body pid =
+    if pid mod 2 = 0 then
+      for i = 0 to ops - 1 do
+        let v = value pid i in
+        enqueued := v :: !enqueued;
+        enq v
+      done
+    else
+      for _ = 1 to ops do
+        match deq () with
+        | None -> ()
+        | Some v ->
+            if Hashtbl.mem seen v then
+              exit_faults :=
+                Monitor.fail "conservation"
+                  (Printf.sprintf "value %d dequeued twice (exit-point check)" v)
+                :: !exit_faults;
+            Hashtbl.replace seen v ();
+            dequeued := v :: !dequeued
+      done
+  in
+  let at_quiescence () =
+    List.rev !exit_faults
+    @ [
+        Monitor.conservation ~enqueued:!enqueued ~dequeued:!dequeued
+          ~residue:(probe residue);
+        Monitor.step_property ~mode (stats ());
+      ]
+  in
+  { Explore.body; at_quiescence }
+
+let elim_pool =
+  {
+    name = "elim_pool";
+    describe = "elimination-tree pool: conservation + pool step property";
+    make =
+      (fun ~procs ~width ~ops ->
+        {
+          Explore.name = "elim_pool";
+          procs;
+          prepare =
+            (fun () ->
+              let p : int Pool.t = Pool.create ~capacity:procs ~width () in
+              pool_instance ~ops ~mode:`Pool
+                ~enq:(fun v -> Pool.enqueue p v)
+                ~deq:(fun () -> Pool.dequeue ~stop:(fun () -> true) p)
+                ~residue:(fun () -> Pool.residue p)
+                ~stats:(fun () -> Pool.balancer_stats_by_level p));
+        });
+  }
+
+let elim_stack =
+  {
+    name = "elim_stack";
+    describe = "stack-like pool: conservation + gap step property";
+    make =
+      (fun ~procs ~width ~ops ->
+        {
+          Explore.name = "elim_stack";
+          procs;
+          prepare =
+            (fun () ->
+              let s : int Stack.t = Stack.create ~capacity:procs ~width () in
+              pool_instance ~ops ~mode:`Gap
+                ~enq:(fun v -> Stack.push s v)
+                ~deq:(fun () -> Stack.pop ~stop:(fun () -> true) s)
+                ~residue:(fun () -> Stack.residue s)
+                ~stats:(fun () -> Stack.balancer_stats_by_level s));
+        });
+  }
+
+(* IncDecCounter scenarios.  Increment-only bursts are quiescently
+   consistent: the returned values must be realizable by a sequential
+   counter (i.e. exactly {0..n-1}).  Mixed concurrent inc/dec bursts
+   are NOT: a decrement may retrace a concurrent increment's path and
+   reach the leaf before the increment's fetch&add lands, returning an
+   undershot value (the checker exhibits inc->-2/dec->-2 at 2 procs) —
+   for those, the quiescent guarantee is the gap step property plus
+   balanced elimination pairing, which is what [counter_mixed]
+   verifies. *)
+let counter_scenario ~name ~describe ~mixed =
+  {
+    name;
+    describe;
+    make =
+      (fun ~procs ~width ~ops ->
+        {
+          Explore.name = name;
+          procs;
+          prepare =
+            (fun () ->
+              let c = Counter.create ~capacity:procs ~width () in
+              let hist = ref [] in
+              let conv = function
+                | Counter.Slot v -> Some v
+                | Counter.Paired -> None
+              in
+              let body pid =
+                for _ = 1 to ops do
+                  (* Bind the outcome before touching the ledger: the
+                     operation suspends on every shared access, and
+                     [hist := op :: !hist] would read [!hist] first
+                     (right-to-left), losing concurrent appends. *)
+                  let is_inc = (not mixed) || pid mod 2 = 0 in
+                  let result =
+                    conv (if is_inc then Counter.increment c
+                          else Counter.decrement c)
+                  in
+                  hist := { Monitor.is_inc; result } :: !hist
+                done
+              in
+              let at_quiescence () =
+                (if mixed then Monitor.paired_balance (List.rev !hist)
+                 else Monitor.quiescent_consistency (List.rev !hist))
+                :: [
+                     Monitor.step_property ~mode:`Gap
+                       (Counter.balancer_stats_by_level c);
+                   ]
+              in
+              { Explore.body; at_quiescence });
+        });
+  }
+
+let counter =
+  counter_scenario ~name:"counter" ~mixed:false
+    ~describe:
+      "IncDecCounter[w], increments only: quiescent consistency + gap step \
+       property"
+
+let counter_mixed =
+  counter_scenario ~name:"counter_mixed" ~mixed:true
+    ~describe:
+      "IncDecCounter[w], concurrent inc/dec: gap step property + balanced \
+       elimination pairing (mixed bursts may undershoot return values)"
+
+(* Raw tree traversals: tokens from even pids, anti-tokens from odd
+   pids, step property only.  [bug] seeds the test-only balancer
+   defect (skip the toggle after an elimination miss); the buggy
+   variant sends tokens from every pid — the violation needs three
+   tokens meeting a stale prism announcement, not eliminations. *)
+let tree_scenario ~name ~describe ~bug ~tokens_only =
+  {
+    name;
+    describe;
+    make =
+      (fun ~procs ~width ~ops ->
+        {
+          Explore.name = name;
+          procs;
+          prepare =
+            (fun () ->
+              let t : int Tree.t =
+                Tree.create ~mode:`Pool ?bug ~capacity:procs
+                  (Core.Tree_config.etree width)
+              in
+              let body pid =
+                for i = 0 to ops - 1 do
+                  if tokens_only || pid mod 2 = 0 then
+                    ignore
+                      (Tree.traverse t ~kind:Core.Location.Token
+                         ~value:(Some (value pid i)))
+                  else
+                    ignore (Tree.traverse t ~kind:Core.Location.Anti ~value:None)
+                done
+              in
+              let at_quiescence () =
+                [
+                  Monitor.step_property ~mode:`Pool
+                    (Tree.balancer_stats_by_level t);
+                ]
+              in
+              { Explore.body; at_quiescence });
+        });
+  }
+
+let tree =
+  tree_scenario ~name:"tree" ~bug:None ~tokens_only:false
+    ~describe:"raw Pool[w] tree, tokens vs anti-tokens: pool step property"
+
+let tree_buggy =
+  tree_scenario ~name:"tree_buggy" ~bug:(Some `Skip_toggle_on_miss)
+    ~tokens_only:true
+    ~describe:
+      "tree with the seeded skip-toggle-on-miss defect: the checker must \
+       find a step-property counterexample"
+
+(* The centralized pool of Figure 5 (the known-blocking baseline).
+   Balanced variant: even pids enqueue, odd pids dequeue the same
+   count — dequeues poll but are always eventually fed, so every
+   interleaving completes and conservation is verified exhaustively.
+   Starved variant: one extra dequeue — no filler exists, the poll
+   spins forever, and the checker must report the deadlock. *)
+let central_scenario ~name ~describe ~extra_deq =
+  {
+    name;
+    describe;
+    make =
+      (fun ~procs ~width:_ ~ops ->
+        {
+          Explore.name = name;
+          procs;
+          prepare =
+            (fun () ->
+              let head = Naive_counter.create () in
+              let tail = Naive_counter.create () in
+              let p : int Central.t =
+                Central.create ~poll:1 ~size:8
+                  ~head:(Naive_counter.as_counter head)
+                  ~tail:(Naive_counter.as_counter tail)
+                  ()
+              in
+              let enqueued = ref [] and dequeued = ref [] in
+              let body pid =
+                if pid mod 2 = 0 then
+                  for i = 0 to ops - 1 do
+                    let v = value pid i in
+                    enqueued := v :: !enqueued;
+                    Central.enqueue p v
+                  done
+                else
+                  for _ = 1 to ops + extra_deq do
+                    match Central.dequeue p with
+                    | None -> ()
+                    | Some v -> dequeued := v :: !dequeued
+                  done
+              in
+              let at_quiescence () =
+                [
+                  Monitor.conservation ~enqueued:!enqueued ~dequeued:!dequeued
+                    ~residue:(probe (fun () -> Central.residue p));
+                ]
+              in
+              { Explore.body; at_quiescence });
+        });
+  }
+
+let central_pool =
+  central_scenario ~name:"central_pool" ~extra_deq:0
+    ~describe:
+      "centralized pool (Fig. 5), balanced producers/consumers: conservation"
+
+let central_pool_starved =
+  central_scenario ~name:"central_pool_starved" ~extra_deq:1
+    ~describe:
+      "centralized pool with one unfed dequeue: the checker must report the \
+       polling deadlock"
+
+let all =
+  [
+    elim_pool;
+    elim_stack;
+    counter;
+    counter_mixed;
+    tree;
+    tree_buggy;
+    central_pool;
+    central_pool_starved;
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+let names = List.map (fun s -> s.name) all

@@ -43,6 +43,12 @@ module Make (E : Engine.S) = struct
     locks : Lock.t array;        (* parallel to [toggles] *)
     location : 'v location;     (* shared by the whole tree *)
     stats : Elim_stats.t;
+    bug : [ `Skip_toggle_on_miss ] option;
+        (* test-only seeded defect for the model checker: a traversal
+           that saw a potential prism partner but failed to collide
+           (an elimination miss) reads the toggle without flipping it,
+           breaking the step property on interleavings where misses
+           and toggle passes mix.  Never set outside tests. *)
   }
 
   let make_location ~capacity : 'v location =
@@ -51,7 +57,7 @@ module Make (E : Engine.S) = struct
   (* Number of processors the announcement array can accommodate. *)
   let location_capacity (location : 'v location) = Array.length location
 
-  let create ?(mode = `Pool) ?(eliminate = true) ?(depth = 0) ~id
+  let create ?(mode = `Pool) ?(eliminate = true) ?(depth = 0) ?bug ~id
       ~prism_widths ~spin ~location () =
     if prism_widths = [] then
       invalid_arg "Elim_balancer.create: at least one prism required";
@@ -72,6 +78,7 @@ module Make (E : Engine.S) = struct
       locks = Array.init ntoggles (fun _ -> Lock.create ~capacity ());
       location;
       stats = Elim_stats.create ();
+      bug;
     }
 
   let toggle_index t (kind : Location.kind) =
@@ -102,10 +109,11 @@ module Make (E : Engine.S) = struct
      records the collision from the victim's side too ([initiator =
      false]); the claimer's identity is not recoverable from the entry,
      hence [partner = -1]. *)
-  let claimed_outcome t my_cell : 'v Location.outcome =
+  let claimed_outcome t ~kind my_cell : 'v Location.outcome =
     match E.get my_cell with
     | Location.Diffracted ->
         Elim_stats.note_diffracted t.stats 1;
+        Elim_stats.note_exit t.stats kind ~wire:0;
         if Etrace.on Etrace.lv_events then
           Etrace.emit
             (Etrace.Event.Prism_cas
@@ -159,6 +167,7 @@ module Make (E : Engine.S) = struct
             then begin
               (* Diffracting collision: we take wire 1, partner wire 0. *)
               Elim_stats.note_diffracted t.stats 1;
+              Elim_stats.note_exit t.stats kind ~wire:1;
               if Etrace.on Etrace.lv_events then
                 Etrace.emit
                   (Etrace.Event.Prism_cas
@@ -222,11 +231,13 @@ module Make (E : Engine.S) = struct
           end
         else
           (* Our own claim failed: someone claimed us first. *)
-          Done (claimed_outcome t my_cell)
+          Done (claimed_outcome t ~kind my_cell)
     | _ -> Keep my_box (* stale prism slot: not (or no longer) here *)
 
-  (* Fall through to the toggle bit (Fig. 4 part 2). *)
-  let toggle_phase t ~kind ~my_cell ~my_box : 'v Location.outcome =
+  (* Fall through to the toggle bit (Fig. 4 part 2).  [missed] says
+     whether this traversal saw a potential prism partner but failed to
+     collide — only the seeded {!t.bug} consults it. *)
+  let toggle_phase t ~kind ~missed ~my_cell ~my_box : 'v Location.outcome =
     let i = toggle_index t kind in
     if Etrace.on Etrace.lv_events then
       Etrace.emit
@@ -235,14 +246,19 @@ module Make (E : Engine.S) = struct
     Lock.acquire t.locks.(i);
     if E.compare_and_set my_cell my_box Location.Empty then begin
       let old = E.get t.toggles.(i) in
-      E.set t.toggles.(i) (not old);
+      (match t.bug with
+      | Some `Skip_toggle_on_miss when missed ->
+          () (* seeded defect: leave the toggle unflipped *)
+      | _ -> E.set t.toggles.(i) (not old));
       Lock.release t.locks.(i);
       Elim_stats.note_toggled t.stats;
+      let wire = toggle_wire t kind ~old in
+      Elim_stats.note_exit t.stats kind ~wire;
       if Etrace.on Etrace.lv_events then
         Etrace.emit
           (Etrace.Event.Toggle_pass
              { pid = E.pid (); time = E.now (); balancer = t.id; toggled = true });
-      Location.Exit (toggle_wire t kind ~old)
+      Location.Exit wire
     end
     else begin
       Lock.release t.locks.(i);
@@ -255,7 +271,7 @@ module Make (E : Engine.S) = struct
                balancer = t.id;
                toggled = false;
              });
-      claimed_outcome t my_cell
+      claimed_outcome t ~kind my_cell
     end
 
   let trace_kind : Location.kind -> Etrace.Event.token_kind = function
@@ -279,8 +295,8 @@ module Make (E : Engine.S) = struct
            });
     let my_cell = t.location.(p) in
     let nprisms = Array.length t.prisms in
-    let rec prism_phase i my_box =
-      if i >= nprisms then toggle_phase t ~kind ~my_cell ~my_box
+    let rec prism_phase i my_box ~missed =
+      if i >= nprisms then toggle_phase t ~kind ~missed ~my_cell ~my_box
       else begin
         if Etrace.on Etrace.lv_events then
           Etrace.emit
@@ -290,13 +306,18 @@ module Make (E : Engine.S) = struct
           let prism = t.prisms.(i) in
           let slot = E.random_int (Array.length prism) in
           let him = E.exchange prism.(slot) p in
+          let candidate = him >= 0 && him <> p in
           let attempt =
-            if him >= 0 && him <> p then
-              try_collide t ~kind ~value ~my_cell ~my_box him
+            if candidate then try_collide t ~kind ~value ~my_cell ~my_box him
             else Keep my_box
           in
+          (* An elimination miss: a potential partner was there, yet no
+             collision came of it (lost claim or stale entry). *)
+          let missed =
+            missed || (candidate && match attempt with Keep _ -> true | Done _ -> false)
+          in
           match attempt with
-          | Done _ as d -> d
+          | Done o -> (`Done o, missed)
           | Keep my_box -> (
               (* Wait in hope of being collided with, then check. *)
               if Etrace.on Etrace.lv_events then
@@ -306,19 +327,19 @@ module Make (E : Engine.S) = struct
                 Etrace.emit (Etrace.Event.Spin_end { pid = p; time = E.now () });
               match E.get my_cell with
               | Location.Diffracted | Location.Eliminated_slot _ ->
-                  Done (claimed_outcome t my_cell)
-              | Location.Announced _ | Location.Empty -> Keep my_box)
+                  (`Done (claimed_outcome t ~kind my_cell), missed)
+              | Location.Announced _ | Location.Empty -> (`Keep my_box, missed))
         in
         if Etrace.on Etrace.lv_events then
           Etrace.emit
             (Etrace.Event.Prism_exit
                { pid = p; time = E.now (); balancer = t.id; layer = i });
         match layer_result with
-        | Done outcome -> outcome
-        | Keep my_box -> prism_phase (i + 1) my_box
+        | `Done outcome, _ -> outcome
+        | `Keep my_box, missed -> prism_phase (i + 1) my_box ~missed
       end
     in
-    let outcome = prism_phase 0 (announce t ~kind ~value) in
+    let outcome = prism_phase 0 (announce t ~kind ~value) ~missed:false in
     if Etrace.on Etrace.lv_events then
       Etrace.emit
         (Etrace.Event.Balancer_exit

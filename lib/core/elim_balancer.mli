@@ -28,6 +28,7 @@ module Make (E : Engine.S) : sig
     ?mode:[ `Pool | `Stack ] ->
     ?eliminate:bool ->
     ?depth:int ->
+    ?bug:[ `Skip_toggle_on_miss ] ->
     id:int ->
     prism_widths:int list ->
     spin:int ->
@@ -38,7 +39,10 @@ module Make (E : Engine.S) : sig
       [prism_widths] lists the prism cascade outermost first (at least
       one); [spin] is the per-prism collision wait.  [depth] (default 0)
       only annotates this balancer's trace events with its tree
-      layer. *)
+      layer.  [bug] seeds a test-only defect for the model checker — a
+      traversal that saw a potential prism partner but failed to
+      collide skips the toggle flip, breaking the step property on
+      some interleavings.  Never set it outside tests. *)
 
   val trace_kind : Location.kind -> Etrace.Event.token_kind
 

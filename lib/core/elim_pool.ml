@@ -60,6 +60,7 @@ module Make (E : Engine.S) = struct
     Array.fold_left (fun acc l -> acc + Local.size l) 0 t.leaves
 
   let stats_by_level t = Tree.stats_by_level t.tree
+  let balancer_stats_by_level t = Tree.balancer_stats_by_level t.tree
   let reset_stats t = Tree.reset_stats t.tree
   let expected_nodes_traversed t = Tree.expected_nodes_traversed t.tree
   let leaf_access_fraction t = Tree.leaf_access_fraction t.tree

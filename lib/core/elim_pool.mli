@@ -38,6 +38,12 @@ module Make (E : Engine.S) : sig
       quiescent). *)
 
   val stats_by_level : 'v t -> Elim_stats.t list
+
+  val balancer_stats_by_level : 'v t -> Elim_stats.t list list
+  (** Live per-balancer records grouped by depth, root first (see
+      {!Elim_tree.Make.balancer_stats_by_level}); the model checker's
+      step-property monitor reads the per-wire exit counters here. *)
+
   val reset_stats : 'v t -> unit
   val expected_nodes_traversed : 'v t -> float
   val leaf_access_fraction : 'v t -> float

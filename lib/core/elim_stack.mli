@@ -29,5 +29,10 @@ module Make (E : Engine.S) : sig
   val residue : 'v t -> int
 
   val stats_by_level : 'v t -> Elim_stats.t list
+
+  val balancer_stats_by_level : 'v t -> Elim_stats.t list list
+  (** Live per-balancer records grouped by depth (see
+      {!Elim_tree.Make.balancer_stats_by_level}). *)
+
   val reset_stats : 'v t -> unit
 end

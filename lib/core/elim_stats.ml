@@ -14,6 +14,13 @@ type t = {
   mutable eliminated : int;    (* individuals eliminated here (2/pair) *)
   mutable diffracted : int;    (* individuals diffracted here (2/pair) *)
   mutable toggled : int;       (* individuals that used the toggle bit *)
+  (* per-output-wire exits, the observable the step property (Lemma
+     3.1) speaks about: tokens/anti-tokens that left on wire 0 / 1
+     (eliminated pairs leave on no wire and are counted above) *)
+  mutable token_out0 : int;
+  mutable token_out1 : int;
+  mutable anti_out0 : int;
+  mutable anti_out1 : int;
 }
 
 let create () =
@@ -23,6 +30,10 @@ let create () =
     eliminated = 0;
     diffracted = 0;
     toggled = 0;
+    token_out0 = 0;
+    token_out1 = 0;
+    anti_out0 = 0;
+    anti_out1 = 0;
   }
 
 let reset t =
@@ -30,7 +41,11 @@ let reset t =
   t.anti_entries <- 0;
   t.eliminated <- 0;
   t.diffracted <- 0;
-  t.toggled <- 0
+  t.toggled <- 0;
+  t.token_out0 <- 0;
+  t.token_out1 <- 0;
+  t.anti_out0 <- 0;
+  t.anti_out1 <- 0
 
 let entered t (kind : Location.kind) =
   match kind with
@@ -40,6 +55,13 @@ let entered t (kind : Location.kind) =
 let note_eliminated t n = t.eliminated <- t.eliminated + n
 let note_diffracted t n = t.diffracted <- t.diffracted + n
 let note_toggled t = t.toggled <- t.toggled + 1
+
+let note_exit t (kind : Location.kind) ~wire =
+  match (kind, wire) with
+  | Token, 0 -> t.token_out0 <- t.token_out0 + 1
+  | Token, _ -> t.token_out1 <- t.token_out1 + 1
+  | Anti, 0 -> t.anti_out0 <- t.anti_out0 + 1
+  | Anti, _ -> t.anti_out1 <- t.anti_out1 + 1
 
 let entries t = t.token_entries + t.anti_entries
 
@@ -61,6 +83,10 @@ let merge stats =
           acc.eliminated <- acc.eliminated + s.eliminated;
           acc.diffracted <- acc.diffracted + s.diffracted;
           acc.toggled <- acc.toggled + s.toggled;
+          acc.token_out0 <- acc.token_out0 + s.token_out0;
+          acc.token_out1 <- acc.token_out1 + s.token_out1;
+          acc.anti_out0 <- acc.anti_out0 + s.anti_out0;
+          acc.anti_out1 <- acc.anti_out1 + s.anti_out1;
           go (s :: seen) rest
         end
   in

@@ -9,6 +9,10 @@ type t = {
   mutable eliminated : int;  (** individuals eliminated here (2/pair) *)
   mutable diffracted : int;  (** individuals diffracted here (2/pair) *)
   mutable toggled : int;
+  mutable token_out0 : int;  (** tokens that left on wire 0 *)
+  mutable token_out1 : int;  (** tokens that left on wire 1 *)
+  mutable anti_out0 : int;   (** anti-tokens that left on wire 0 *)
+  mutable anti_out1 : int;   (** anti-tokens that left on wire 1 *)
 }
 
 val create : unit -> t
@@ -18,6 +22,11 @@ val entered : t -> Location.kind -> unit
 val note_eliminated : t -> int -> unit
 val note_diffracted : t -> int -> unit
 val note_toggled : t -> unit
+
+val note_exit : t -> Location.kind -> wire:int -> unit
+(** Record a traversal leaving on an output wire — the per-balancer
+    observable the step property (Lemma 3.1) constrains.  Eliminated
+    pairs leave on no wire and are not recorded here. *)
 
 val entries : t -> int
 (** Tokens plus anti-tokens that entered. *)

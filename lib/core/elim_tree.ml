@@ -34,7 +34,7 @@ module Make (E : Engine.S) = struct
     go 0 (i + 1)
 
   let create ?(mode = `Pool) ?(eliminate = true) ?(leaf_order = `Natural)
-      ~capacity (config : Tree_config.t) =
+      ?bug ~capacity (config : Tree_config.t) =
     let config = Tree_config.validate config in
     if capacity < 1 then
       invalid_arg "Elim_tree.create: capacity must be positive";
@@ -57,7 +57,7 @@ module Make (E : Engine.S) = struct
       Array.init (width - 1) (fun i ->
           let depth = depth_of_index i in
           let level = config.levels.(depth) in
-          Balancer.create ~mode ~eliminate ~depth ~id:i
+          Balancer.create ~mode ~eliminate ~depth ?bug ~id:i
             ~prism_widths:level.prism_widths ~spin:level.spin ~location ())
     in
     {

@@ -17,12 +17,15 @@ module Make (E : Engine.S) : sig
     ?mode:[ `Pool | `Stack ] ->
     ?eliminate:bool ->
     ?leaf_order:[ `Natural | `Interleaved ] ->
+    ?bug:[ `Skip_toggle_on_miss ] ->
     capacity:int ->
     Tree_config.t ->
     'v t
   (** [capacity] bounds participating processors (it sizes the shared
       Location array and the toggle locks).  Defaults: [`Pool] mode,
-      elimination on, [`Natural] order. *)
+      elimination on, [`Natural] order.  [bug] seeds the test-only
+      balancer defect of {!Elim_balancer.Make.create} in every
+      balancer — model-checker tests only. *)
 
   val width : 'v t -> int
 

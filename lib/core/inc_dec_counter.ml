@@ -54,4 +54,5 @@ module Make (E : Engine.S) = struct
   (* Direct tree access for property tests (gap step property). *)
   let traverse t ~kind = Tree.traverse t.tree ~kind ~value:None
   let stats_by_level t = Tree.stats_by_level t.tree
+  let balancer_stats_by_level t = Tree.balancer_stats_by_level t.tree
 end

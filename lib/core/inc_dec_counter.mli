@@ -34,4 +34,8 @@ module Make (E : Engine.S) : sig
   (** Raw tree access, for property tests of the gap step property. *)
 
   val stats_by_level : t -> Elim_stats.t list
+
+  val balancer_stats_by_level : t -> Elim_stats.t list list
+  (** Live per-balancer records grouped by depth (see
+      {!Elim_tree.Make.balancer_stats_by_level}). *)
 end

@@ -37,6 +37,24 @@ type _ Effect.t +=
 
 type event = { pid : int; fire : unit -> unit; abort : unit -> unit }
 
+(* Controlled scheduling (etrees.check).  A controller takes over every
+   scheduling decision: instead of firing events in (time, seq) order,
+   each processor's single pending event is parked in a per-pid slot,
+   local steps (proc starts, delays, pure pauses) are fired eagerly,
+   and whenever every live processor is parked on a shared-memory
+   access the controller picks which one commits next.  Each decision
+   commits exactly one access, so the chosen pid sequence fully
+   determines the interleaving — the substrate for the stateless model
+   checker in lib/check. *)
+
+type access_kind = Acc_read | Acc_write | Acc_rmw
+
+type access = { acc_loc : Memory.loc; acc_kind : access_kind }
+
+type choice = Fire of int | Quit
+
+type controller = (int * access) list -> choice
+
 (* Fault injection (etrees.faults).  The injector is consulted at three
    points: before any processor event fires (stall/crash), when a
    memory operation's service cost is computed (hot spots), and when a
@@ -64,6 +82,9 @@ type t = {
   heap : event Event_heap.t;
   rngs : Engine.Splitmix.t array;
   injector : injector option;
+  controller : controller option;
+  pending : (int * event * access option) option array;
+  (* controller mode only: per-pid parked (time, event, access) *)
   mutable clock : int;
   mutable seq : int;
   mutable live : int;
@@ -102,9 +123,18 @@ let the_sched () =
       failwith
         "Sim: a simulated-engine operation was performed outside Sim.run"
 
-let schedule t time ev =
-  Event_heap.push t.heap ~time ~seq:t.seq ev;
+(* Park an event: into the heap normally, into the per-pid slot under a
+   controller.  [access] describes the shared-memory access the event
+   will commit (None for local steps), and is what the controller sees. *)
+let park t ~access time ev =
+  (match t.controller with
+  | None -> Event_heap.push t.heap ~time ~seq:t.seq ev
+  | Some _ ->
+      assert (t.pending.(ev.pid) = None);
+      t.pending.(ev.pid) <- Some (time, ev, access));
   t.seq <- t.seq + 1
+
+let schedule t time ev = park t ~access:None time ev
 
 (* Fault-adjusted service cost of a memory operation on [loc] issued
    now by the current processor. *)
@@ -154,7 +184,7 @@ let start t p body =
                         if j > 0 then n + j else n
                   in
                   let issued = t.clock in
-                  schedule t (t.clock + n)
+                  park t ~access:None (t.clock + n)
                     {
                       pid = p;
                       fire =
@@ -179,7 +209,12 @@ let start t p body =
                   let loc_id =
                     match loc with Some l -> l.Memory.id | None -> -1
                   in
-                  schedule t (t.clock + latency)
+                  let access =
+                    match loc with
+                    | Some l -> Some { acc_loc = l; acc_kind = Acc_read }
+                    | None -> None
+                  in
+                  park t ~access (t.clock + latency)
                     {
                       pid = p;
                       fire =
@@ -223,7 +258,18 @@ let start t p body =
                   Memory.issue_stamp loc ~pid:t.current ~begins ~finish;
                   loc.Memory.busy_until <- finish;
                   let issued = t.clock in
-                  schedule t finish
+                  let access =
+                    Some
+                      {
+                        acc_loc = loc;
+                        acc_kind =
+                          (match kind with
+                          | Etrace.Event.Read -> Acc_read
+                          | Etrace.Event.Write -> Acc_write
+                          | Etrace.Event.Rmw -> Acc_rmw);
+                      }
+                  in
+                  park t ~access finish
                     {
                       pid = p;
                       fire =
@@ -261,8 +307,10 @@ let start t p body =
    without unwinding, so cleanup code never runs and any held lock
    stays held, which is exactly crash-stop semantics. *)
 let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
-    ?injector ~procs body =
+    ?injector ?controller ~procs body =
   if procs <= 0 then invalid_arg "Sim.run: procs must be positive";
+  if Option.is_some injector && Option.is_some controller then
+    invalid_arg "Sim.run: a controller cannot be combined with an injector";
   let base = Engine.Splitmix.of_int seed in
   let t =
     {
@@ -271,6 +319,8 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
       heap = Event_heap.create ();
       rngs = Array.init procs (fun i -> Engine.Splitmix.split base ~index:i);
       injector;
+      controller;
+      pending = Array.make procs None;
       clock = 0;
       seq = 0;
       live = procs;
@@ -297,6 +347,80 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
       }
   done;
   let horizon = match abort_after with Some h -> h | None -> max_int in
+  (* Controlled mode: the controller, not the clock, decides firing
+     order.  Local steps (access None) are not scheduling decisions and
+     fire eagerly in pid order; once every live processor is parked on
+     a shared-memory access, the controller picks the one that commits
+     next.  [Quit] (or the horizon) unwinds every parked processor. *)
+  let ctl_loop choose =
+    let overran = ref false in
+    let fire time ev =
+      if time > horizon then begin
+        overran := true;
+        ev.abort ()
+      end
+      else begin
+        if time > t.clock then t.clock <- time;
+        t.events_fired <- t.events_fired + 1;
+        ev.fire ()
+      end
+    in
+    let rec settle () =
+      let progressed = ref false in
+      for p = 0 to t.nprocs - 1 do
+        match t.pending.(p) with
+        | Some (time, ev, None) when not !overran ->
+            t.pending.(p) <- None;
+            progressed := true;
+            fire time ev
+        | _ -> ()
+      done;
+      if !progressed then settle ()
+    in
+    let rec drain () =
+      (* Unwinding a processor can park (then require unwinding) new
+         events, so iterate to a fixpoint. *)
+      let any = ref false in
+      for p = 0 to t.nprocs - 1 do
+        match t.pending.(p) with
+        | Some (_, ev, _) ->
+            t.pending.(p) <- None;
+            any := true;
+            ev.abort ()
+        | None -> ()
+      done;
+      if !any then drain ()
+    in
+    let rec step () =
+      settle ();
+      if !overran then drain ()
+      else begin
+        let runnable = ref [] in
+        for p = t.nprocs - 1 downto 0 do
+          match t.pending.(p) with
+          | Some (_, _, Some a) -> runnable := (p, a) :: !runnable
+          | Some (_, _, None) -> assert false
+          | None -> ()
+        done;
+        match !runnable with
+        | [] -> () (* every processor finished *)
+        | rs -> (
+            match choose rs with
+            | Quit -> drain ()
+            | Fire p ->
+                (match t.pending.(p) with
+                | Some (time, ev, Some _) ->
+                    t.pending.(p) <- None;
+                    fire time ev
+                | _ ->
+                    invalid_arg
+                      "Sim controller: chose a processor with no pending \
+                       access");
+                step ())
+      end
+    in
+    step ()
+  in
   let rec loop () =
     match Event_heap.pop t.heap with
     | None -> ()
@@ -339,7 +463,7 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
           loop ()
         end
   in
-  loop ();
+  (match controller with Some c -> ctl_loop c | None -> loop ());
   assert (t.live = 0);
   {
     end_clock = t.clock;

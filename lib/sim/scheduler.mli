@@ -37,6 +37,35 @@ type event = { pid : int; fire : unit -> unit; abort : unit -> unit }
 (** Every event belongs to one simulated processor — [pid] is consulted
     by the fault injector before the event fires. *)
 
+(** {1 Controlled scheduling (etrees.check)}
+
+    A {!controller} takes over every scheduling decision, turning the
+    simulator into the substrate for a stateless model checker: each
+    processor's single pending event is parked per-pid instead of in
+    the time heap, local steps (proc starts, delays, pure pauses) fire
+    eagerly in pid order, and whenever every live processor is parked
+    on a shared-memory access the controller picks which one commits
+    next.  Each decision commits exactly one access, so the chosen pid
+    sequence fully determines the interleaving — runs are replayable
+    from the pid sequence alone. *)
+
+type access_kind = Acc_read | Acc_write | Acc_rmw
+
+type access = { acc_loc : Memory.loc; acc_kind : access_kind }
+(** The shared-memory access a parked processor will commit next.  The
+    location's epoch stamps (see {!Memory.loc}) let a controller detect
+    unchanged-location polling. *)
+
+type choice =
+  | Fire of int  (** commit this processor's pending access *)
+  | Quit         (** stop: unwind every parked processor with {!Aborted} *)
+
+type controller = (int * access) list -> choice
+(** Called with the runnable processors (increasing pid order), each
+    with its pending access; never called with an empty list.  Must be
+    a pure host-level function: it runs outside any processor and may
+    not perform engine effects. *)
+
 (** {1 Fault injection (etrees.faults)}
 
     An {!injector} is the scheduler-side surface of a fault plan (see
@@ -70,6 +99,9 @@ type t = {
   heap : event Event_heap.t;
   rngs : Engine.Splitmix.t array;
   injector : injector option;
+  controller : controller option;
+  pending : (int * event * access option) option array;
+      (** controller mode only: per-pid parked (time, event, access) *)
   mutable clock : int;
   mutable seq : int;
   mutable live : int;
@@ -108,7 +140,9 @@ val run :
   ?config:Memory.config ->
   ?abort_after:int ->
   ?injector:injector ->
+  ?controller:controller ->
   procs:int ->
   (int -> unit) ->
   stats
-(** See [Sim.run]. *)
+(** See [Sim.run].  [controller] and [injector] are mutually
+    exclusive. *)

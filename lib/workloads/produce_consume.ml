@@ -15,6 +15,7 @@ type point = {
   lat : Etrace.Histogram.summary; (* per-operation latency distribution *)
   ops : int;              (* raw operations completed in the window *)
   elim_rate : float option; (* eliminated/entries over all levels *)
+  races : int option;     (* Some n when run under the race detector *)
   mem : Sim.stats;        (* engine-level op counters, see Report.ops *)
 }
 
@@ -26,7 +27,7 @@ let elim_rate_of (pool : _ Pool_obj.pool) =
   | Some stats ->
       Some (Core.Elim_stats.elimination_fraction (Core.Elim_stats.merge (stats ())))
 
-let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
+let run_plain ~seed ~horizon ?config ~workload ~procs
     (make : procs:int -> int Pool_obj.pool) =
   let pool = make ~procs in
   let ops = ref 0 in
@@ -70,11 +71,26 @@ let run ?(seed = 1) ?(horizon = 200_000) ?config ~workload ~procs
     lat = Etrace.Histogram.summary lat;
     ops = !ops;
     elim_rate = elim_rate_of pool;
+    races = None;
     mem = stats;
   }
 
+(* [races] reruns nothing: the whole simulated run executes under the
+   race detector's tracer, and the point carries the race count
+   (etrees.analysis, dynamic prong). *)
+let run ?(seed = 1) ?(horizon = 200_000) ?config ?(races = false) ~workload
+    ~procs make =
+  if races then begin
+    let point, report =
+      Analysis.Race_detector.run (fun () ->
+          run_plain ~seed ~horizon ?config ~workload ~procs make)
+    in
+    { point with races = Some (List.length report.Analysis.Race_detector.races) }
+  end
+  else run_plain ~seed ~horizon ?config ~workload ~procs make
+
 (* Sweep processor counts for one method. *)
-let sweep ?seed ?horizon ?config ~workload ~proc_counts make =
+let sweep ?seed ?horizon ?config ?races ~workload ~proc_counts make =
   List.map
-    (fun procs -> run ?seed ?horizon ?config ~workload ~procs make)
+    (fun procs -> run ?seed ?horizon ?config ?races ~workload ~procs make)
     proc_counts

@@ -12,6 +12,9 @@ type point = {
   elim_rate : float option;
       (** eliminated/entries over all tree levels; [None] for methods
           without per-level stats *)
+  races : int option;
+      (** number of races the dynamic race detector reported; [None]
+          unless the run was made with [~races:true] *)
   mem : Sim.stats;        (** engine-level op counters of the run *)
 }
 
@@ -19,17 +22,21 @@ val run :
   ?seed:int ->
   ?horizon:int ->
   ?config:Sim.Memory.config ->
+  ?races:bool ->
   workload:int ->
   procs:int ->
   (procs:int -> int Pool_obj.pool) ->
   point
 (** Raises [Failure] if any processor failed to terminate (which would
-    indicate a broken pool, cf. P1/P2). *)
+    indicate a broken pool, cf. P1/P2).  With [~races:true] the whole
+    run executes under {!Analysis.Race_detector} and the point's
+    [races] field carries the race count. *)
 
 val sweep :
   ?seed:int ->
   ?horizon:int ->
   ?config:Sim.Memory.config ->
+  ?races:bool ->
   workload:int ->
   proc_counts:int list ->
   (procs:int -> int Pool_obj.pool) ->

@@ -25,3 +25,9 @@ let clear slots i =
 
 (* [atomic]: real atomics bypass the simulated memory model entirely. *)
 let cas_flag (f : bool Atomic.t) = Atomic.compare_and_set f false true
+
+(* [sim-bypass]: reaching simulator internals instead of the Engine.S
+   functor parameter — the model checker's controlled scheduler never
+   sees such accesses. *)
+let sneaky_cell v = Sim.Memory.cell v
+let peek_epoch (l : Memory.loc) = Memory.read_epoch l

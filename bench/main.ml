@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --quick all  -- reduced scale
      dune exec bench/main.exe -- --full all   -- the paper's 10^6 cycles
 
-   Experiments: fig7 fig8 table1 fig9 fig10 chaos ablate extra native all
+   Experiments: fig7 fig8 table1 fig9 fig10 chaos adapt ablate extra
+   native all
    (see DESIGN.md §3 for the experiment index, EXPERIMENTS.md for
    paper-vs-measured).  With [--json], experiments that support it also
    write machine-readable BENCH_<experiment>.json point files.
@@ -517,6 +518,134 @@ let chaos scale =
        levels)
 
 (* ------------------------------------------------------------------ *)
+(* A1: the adaptive crossover (docs/ADAPTIVE.md)                       *)
+(* ------------------------------------------------------------------ *)
+
+let adapt_point_json (p : W.Adapt_sweep.point) =
+  R.Obj
+    [
+      ("method", R.Str p.W.Adapt_sweep.method_name);
+      ("reactive", R.Bool p.W.Adapt_sweep.reactive);
+      ("workload", R.Int p.W.Adapt_sweep.workload);
+      ("procs", R.Int p.W.Adapt_sweep.procs);
+      ("throughput_per_m", R.Int p.W.Adapt_sweep.throughput_per_m);
+      ("latency", R.Float p.W.Adapt_sweep.latency);
+      ("latency_hist", R.histogram_json p.W.Adapt_sweep.lat);
+      ("elim_rate", R.opt (fun r -> R.Float r) p.W.Adapt_sweep.elim_rate);
+      ( "final_adapt",
+        R.opt
+          (fun levels ->
+            R.Arr
+              (List.map
+                 (fun level ->
+                   R.Arr
+                     (List.map
+                        (fun (spin, widths) ->
+                          R.Obj
+                            [
+                              ("spin", R.Int spin);
+                              ( "widths",
+                                R.Arr (List.map (fun w -> R.Int w) widths) );
+                            ])
+                        level))
+                 levels))
+          p.W.Adapt_sweep.final_adapt );
+    ]
+
+let adapt_exp scale =
+  print_string
+    "== A1: reactive vs hand-tuned static elimination (docs/ADAPTIVE.md) \
+     ==\n\n";
+  let procs = List.fold_left max 2 scale.counts in
+  (* Load falls as think time grows; trim the axis at quick scale. *)
+  let workloads =
+    if scale.horizon < 100_000 then [ 0; 2_000; 16_000 ]
+    else W.Adapt_sweep.default_workloads
+  in
+  let specs = W.Adapt_sweep.methods () in
+  let series =
+    List.map
+      (fun (spec : W.Adapt_sweep.method_spec) ->
+        progress "adapt: %s @ %d procs" spec.W.Adapt_sweep.label procs;
+        List.map
+          (fun workload ->
+            W.Adapt_sweep.run_point ~horizon:scale.horizon ~procs ~workload
+              spec)
+          workloads)
+      specs
+  in
+  let columns =
+    List.map (fun (s : W.Adapt_sweep.method_spec) -> s.W.Adapt_sweep.label)
+      specs
+  in
+  let row_of f workload =
+    ( string_of_int workload,
+      List.map
+        (fun points ->
+          let p =
+            List.find
+              (fun (p : W.Adapt_sweep.point) ->
+                p.W.Adapt_sweep.workload = workload)
+              points
+          in
+          f p)
+        series )
+  in
+  print_string
+    (R.table
+       ~title:
+         (Printf.sprintf
+            "Produce-consume @ %d procs: throughput (ops per 10^6 cycles) \
+             vs think time"
+            procs)
+       ~row_label:"workload" ~columns
+       (List.map
+          (row_of (fun p -> R.int_ p.W.Adapt_sweep.throughput_per_m))
+          workloads));
+  print_newline ();
+  print_string
+    (R.table
+       ~title:
+         (Printf.sprintf
+            "Produce-consume @ %d procs: average latency (cycles/op) vs \
+             think time"
+            procs)
+       ~row_label:"workload" ~columns
+       (List.map
+          (row_of (fun p -> R.float1 p.W.Adapt_sweep.latency))
+          workloads));
+  print_newline ();
+  (* The reactive column's final state at the extremes of the axis. *)
+  List.iter
+    (fun points ->
+      List.iter
+        (fun (p : W.Adapt_sweep.point) ->
+          match p.W.Adapt_sweep.final_adapt with
+          | None -> ()
+          | Some levels ->
+              let fmt_level level =
+                String.concat ","
+                  (List.map
+                     (fun (spin, widths) ->
+                       Printf.sprintf "%d:[%s]" spin
+                         (String.concat ";"
+                            (List.map string_of_int widths)))
+                     level)
+              in
+              Printf.printf "adapted (W=%d) spin:[widths] by depth: %s\n"
+                p.W.Adapt_sweep.workload
+                (String.concat " | " (List.map fmt_level levels)))
+        points)
+    series;
+  let flat = List.concat series in
+  Printf.printf
+    "\nshape: saturation within 5%% of best static: %s; low-load latency \
+     strictly best: %s\n\n"
+    (if W.Adapt_sweep.saturation_ok flat then "PASS" else "FAIL")
+    (if W.Adapt_sweep.low_load_ok flat then "PASS" else "FAIL");
+  emit_json ~experiment:"adapt" (List.map adapt_point_json flat)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (extensions; see EXPERIMENTS.md)                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,6 +1036,7 @@ let () =
   if want "fig9" then fig9 scale;
   if want "fig10" then fig10 scale;
   if want "chaos" then chaos scale;
+  if want "adapt" then adapt_exp scale;
   if want "ablate" then ablate scale;
   if want "extra" then begin
     width_sweep scale;

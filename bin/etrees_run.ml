@@ -66,17 +66,106 @@ let pc_cmd =
       value & opt int 0
       & info [ "w"; "workload" ] ~doc:"Max think time between operations.")
   in
-  let run procs seed horizon workload make =
+  let adapt_t =
+    Arg.(
+      value & flag
+      & info [ "adapt" ]
+          ~doc:
+            "Run the elimination tree under the reactive controller \
+             (docs/ADAPTIVE.md) instead of the static tuning; the \
+             $(b,--adapt-*) options refine its configuration.  Overrides \
+             $(b,--method) with the reactive etree pool.")
+  in
+  let adapt_period_t =
+    Arg.(
+      value & opt int Adapt.default.Adapt.period
+      & info [ "adapt-period" ]
+          ~doc:"Reactive: balancer entries per adaptation epoch.")
+  in
+  let adapt_hi_t =
+    Arg.(
+      value & opt int Adapt.default.Adapt.hi_pct
+      & info [ "adapt-hi" ]
+          ~doc:"Reactive: grow when the window hit rate is >= this percent.")
+  in
+  let adapt_lo_t =
+    Arg.(
+      value & opt int Adapt.default.Adapt.lo_pct
+      & info [ "adapt-lo" ]
+          ~doc:"Reactive: shrink when the window hit rate is <= this percent.")
+  in
+  let adapt_min_pct_t =
+    Arg.(
+      value & opt int Adapt.default.Adapt.min_pct
+      & info [ "adapt-min-pct" ]
+          ~doc:"Reactive: clamp floor, percent of the static value.")
+  in
+  let adapt_max_pct_t =
+    Arg.(
+      value & opt int Adapt.default.Adapt.max_pct
+      & info [ "adapt-max-pct" ]
+          ~doc:"Reactive: clamp ceiling, percent of the static value.")
+  in
+  let adapt_seed_t =
+    Arg.(
+      value & opt int Adapt.default.Adapt.seed
+      & info [ "adapt-seed" ]
+          ~doc:"Reactive: seed for the controllers' private streams.")
+  in
+  let run procs seed horizon workload make adapt period hi_pct lo_pct min_pct
+      max_pct adapt_seed =
+    let make =
+      if not adapt then make
+      else
+        let config =
+          Adapt.validate_config
+            {
+              Adapt.default with
+              Adapt.period;
+              hi_pct;
+              lo_pct;
+              min_pct;
+              max_pct;
+              seed = adapt_seed;
+            }
+        in
+        fun ~procs -> W.Methods.etree_pool_reactive ~config ~procs ()
+    in
+    (* Capture the pool the workload builds so the reactive state can be
+       read back after the run. *)
+    let captured = ref None in
+    let make ~procs =
+      let pool = make ~procs in
+      captured := Some pool;
+      pool
+    in
     let p = W.Produce_consume.run ~seed ~horizon ~workload ~procs make in
+    let pool = Option.get !captured in
     Printf.printf
       "%s procs=%d workload=%d: %d ops, %d ops/Mcycle, %.1f cycles/op, mem %s\n"
-      (make ~procs).W.Pool_obj.name procs workload p.W.Produce_consume.ops
+      pool.W.Pool_obj.name procs workload p.W.Produce_consume.ops
       p.W.Produce_consume.throughput_per_m p.W.Produce_consume.latency
-      (W.Report.ops p.W.Produce_consume.mem)
+      (W.Report.ops p.W.Produce_consume.mem);
+    match pool.W.Pool_obj.adapt_by_level with
+    | None -> ()
+    | Some f ->
+        let fmt_level level =
+          String.concat ","
+            (List.map
+               (fun (spin, widths) ->
+                 Printf.sprintf "%d:[%s]" spin
+                   (String.concat ";" (List.map string_of_int widths)))
+               level)
+        in
+        Printf.printf "adapted spin:[widths] by depth: %s\n"
+          (String.concat " | " (List.map fmt_level (f ())))
   in
   Cmd.v
     (Cmd.info "pc" ~doc:"Produce-consume benchmark (Figures 7/8).")
-    Term.(const run $ procs_t $ seed_t $ horizon_t $ workload_t $ pool_method_t)
+    Term.(
+      const run $ procs_t $ seed_t $ horizon_t $ workload_t $ pool_method_t
+      $ adapt_t $ adapt_period_t $ adapt_hi_t $ adapt_lo_t $ adapt_min_pct_t
+      $ adapt_max_pct_t $ adapt_seed_t)
 
 (* count: counting benchmark *)
 let count_cmd =

@@ -95,6 +95,44 @@ let elim_pool =
         });
   }
 
+(* The reactive pool (docs/ADAPTIVE.md) under the same monitors as
+   [elim_pool].  A tiny epoch (every 2 entries) forces adaptation
+   decisions inside even these short closed runs, so the checker covers
+   traversals that race with spin-window and prism-width changes; the
+   clamp band only shrinks (ceiling at the static tuning) to keep the
+   interleaving space bounded.  The safety argument being verified:
+   conservation and the step property cannot depend on which effective
+   width or spin a traversal observed. *)
+let adapt =
+  {
+    name = "adapt";
+    describe =
+      "reactive elimination pool (2-entry epochs): conservation + pool step \
+       property under concurrent spin/width changes";
+    make =
+      (fun ~procs ~width ~ops ->
+        {
+          Explore.name = "adapt";
+          procs;
+          prepare =
+            (fun () ->
+              let config =
+                Adapt.validate_config
+                  { Adapt.default with Adapt.period = 2; min_pct = 25;
+                    max_pct = 100 }
+              in
+              let p : int Pool.t =
+                Pool.create ~policy:(`Reactive config) ~capacity:procs ~width
+                  ()
+              in
+              pool_instance ~ops ~mode:`Pool
+                ~enq:(fun v -> Pool.enqueue p v)
+                ~deq:(fun () -> Pool.dequeue ~stop:(fun () -> true) p)
+                ~residue:(fun () -> Pool.residue p)
+                ~stats:(fun () -> Pool.balancer_stats_by_level p));
+        });
+  }
+
 let elim_stack =
   {
     name = "elim_stack";
@@ -294,6 +332,7 @@ let central_pool_starved =
 let all =
   [
     elim_pool;
+    adapt;
     elim_stack;
     counter;
     counter_mixed;

@@ -39,6 +39,14 @@ module Make (E : Engine.S) = struct
     eliminate : bool;
     prisms : int E.cell array array; (* pid slots; -1 = empty *)
     spin : int;
+    ctl : Adapt.Controller.t option;
+        (* reactive policy (docs/ADAPTIVE.md): when set, the effective
+           spin window and prism widths come from the controller rather
+           than [spin] / the full array lengths.  The controller's
+           state is host-level (like [stats]) and its decisions come
+           off a private splitmix stream, so it performs no
+           engine-visible operations: clamped to the static values it
+           leaves a simulated run byte-identical to [ctl = None]. *)
     toggles : bool E.cell array; (* Pool: [|token; anti|]; Stack: one *)
     locks : Lock.t array;        (* parallel to [toggles] *)
     location : 'v location;     (* shared by the whole tree *)
@@ -57,12 +65,27 @@ module Make (E : Engine.S) = struct
   (* Number of processors the announcement array can accommodate. *)
   let location_capacity (location : 'v location) = Array.length location
 
-  let create ?(mode = `Pool) ?(eliminate = true) ?(depth = 0) ?bug ~id
-      ~prism_widths ~spin ~location () =
+  let create ?(mode = `Pool) ?(eliminate = true) ?(depth = 0) ?bug
+      ?(policy = `Static) ~id ~prism_widths ~spin ~location () =
     if prism_widths = [] then
       invalid_arg "Elim_balancer.create: at least one prism required";
     let capacity = Array.length location in
     let ntoggles = match mode with `Pool -> 2 | `Stack -> 1 in
+    let ctl =
+      match (policy : Adapt.policy) with
+      | `Static -> None
+      | `Reactive config ->
+          Some (Adapt.Controller.create ~config ~id ~spin0:spin
+                  ~widths0:prism_widths)
+    in
+    (* Elastic widths never reallocate shared arrays: each prism is
+       sized at its clamp ceiling and [traverse] draws slots from the
+       current effective width only. *)
+    let alloc_widths =
+      match ctl with
+      | None -> prism_widths
+      | Some c -> Adapt.Controller.alloc_widths c
+    in
     {
       id;
       depth;
@@ -72,8 +95,9 @@ module Make (E : Engine.S) = struct
         Array.of_list
           (List.map
              (fun w -> Array.init (max 1 w) (fun _ -> E.cell (-1)))
-             prism_widths);
+             alloc_widths);
       spin;
+      ctl;
       toggles = Array.init ntoggles (fun _ -> E.cell false);
       locks = Array.init ntoggles (fun _ -> Lock.create ~capacity ());
       location;
@@ -278,11 +302,46 @@ module Make (E : Engine.S) = struct
     | Location.Token -> Etrace.Event.Token
     | Location.Anti -> Etrace.Event.Anti
 
+  (* Reactive entry hook: count this entry towards the adaptation
+     epoch; on epoch close, feed the stats window to the controller and
+     announce whatever changed on the trace.  Pure host-level work —
+     zero engine operations, zero simulated cycles. *)
+  let adapt_on_entry t ~pid =
+    match t.ctl with
+    | None -> ()
+    | Some c ->
+        if Adapt.Controller.tick c then begin
+          let w = Elim_stats.take_window t.stats in
+          let d =
+            Adapt.Controller.decide c
+              {
+                Adapt.entries = w.w_entries;
+                hits = w.w_hits;
+                misses = w.w_misses;
+                toggled = w.w_toggled;
+              }
+          in
+          if Etrace.on Etrace.lv_events && Adapt.Controller.changed d then begin
+            if d.spin_changed then
+              Etrace.emit
+                (Etrace.Event.Adapt_spin
+                   { pid; time = E.now (); balancer = t.id; spin = d.spin });
+            List.iteri
+              (fun layer width ->
+                if List.nth d.width_changed layer then
+                  Etrace.emit
+                    (Etrace.Event.Adapt_width
+                       { pid; time = E.now (); balancer = t.id; layer; width }))
+              d.widths
+          end
+        end
+
   (* Shepherd one token or anti-token through this balancer. *)
   let traverse t ~(kind : Location.kind) ~(value : 'v option) :
       'v Location.outcome =
     Elim_stats.entered t.stats kind;
     let p = E.pid () in
+    adapt_on_entry t ~pid:p;
     if Etrace.on Etrace.lv_events then
       Etrace.emit
         (Etrace.Event.Balancer_enter
@@ -304,7 +363,14 @@ module Make (E : Engine.S) = struct
                { pid = p; time = E.now (); balancer = t.id; layer = i });
         let layer_result =
           let prism = t.prisms.(i) in
-          let slot = E.random_int (Array.length prism) in
+          (* Effective width: the whole allocation when static, the
+             controller's current (clamped) width when reactive. *)
+          let limit =
+            match t.ctl with
+            | None -> Array.length prism
+            | Some c -> Adapt.Controller.width c ~layer:i
+          in
+          let slot = E.random_int limit in
           let him = E.exchange prism.(slot) p in
           let candidate = him >= 0 && him <> p in
           let attempt =
@@ -313,16 +379,21 @@ module Make (E : Engine.S) = struct
           in
           (* An elimination miss: a potential partner was there, yet no
              collision came of it (lost claim or stale entry). *)
-          let missed =
-            missed || (candidate && match attempt with Keep _ -> true | Done _ -> false)
+          let miss_here =
+            candidate && match attempt with Keep _ -> true | Done _ -> false
           in
+          if miss_here then Elim_stats.note_miss t.stats;
+          let missed = missed || miss_here in
           match attempt with
           | Done o -> (`Done o, missed)
           | Keep my_box -> (
               (* Wait in hope of being collided with, then check. *)
               if Etrace.on Etrace.lv_events then
                 Etrace.emit (Etrace.Event.Spin_begin { pid = p; time = E.now () });
-              E.delay t.spin;
+              E.delay
+                (match t.ctl with
+                | None -> t.spin
+                | Some c -> Adapt.Controller.spin c);
               if Etrace.on Etrace.lv_events then
                 Etrace.emit (Etrace.Event.Spin_end { pid = p; time = E.now () });
               match E.get my_cell with
@@ -356,4 +427,8 @@ module Make (E : Engine.S) = struct
     outcome
 
   let stats t = t.stats
+
+  (* Current reactive state, [(spin, widths)]; [None] under `Static. *)
+  let adapt_state t = Option.map Adapt.Controller.snapshot t.ctl
+  let controller t = t.ctl
 end

@@ -29,6 +29,7 @@ module Make (E : Engine.S) : sig
     ?eliminate:bool ->
     ?depth:int ->
     ?bug:[ `Skip_toggle_on_miss ] ->
+    ?policy:Adapt.policy ->
     id:int ->
     prism_widths:int list ->
     spin:int ->
@@ -39,10 +40,15 @@ module Make (E : Engine.S) : sig
       [prism_widths] lists the prism cascade outermost first (at least
       one); [spin] is the per-prism collision wait.  [depth] (default 0)
       only annotates this balancer's trace events with its tree
-      layer.  [bug] seeds a test-only defect for the model checker — a
-      traversal that saw a potential prism partner but failed to
-      collide skips the toggle flip, breaking the step property on
-      some interleavings.  Never set it outside tests. *)
+      layer.  [policy] (default [`Static]) selects the reactive
+      controller of docs/ADAPTIVE.md: under [`Reactive], [spin] and
+      [prism_widths] become the static anchors the controller adapts
+      around (prisms are allocated at their clamp ceilings), and the
+      controller's decisions are emitted as [Adapt_spin]/[Adapt_width]
+      trace events.  [bug] seeds a test-only defect for the model
+      checker — a traversal that saw a potential prism partner but
+      failed to collide skips the toggle flip, breaking the step
+      property on some interleavings.  Never set it outside tests. *)
 
   val trace_kind : Location.kind -> Etrace.Event.token_kind
 
@@ -52,4 +58,9 @@ module Make (E : Engine.S) : sig
       ([value = None]) through the balancer. *)
 
   val stats : 'v t -> Elim_stats.t
+
+  val adapt_state : 'v t -> (int * int list) option
+  (** Current reactive [(spin, prism widths)]; [None] under [`Static]. *)
+
+  val controller : 'v t -> Adapt.Controller.t option
 end

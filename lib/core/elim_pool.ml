@@ -20,9 +20,17 @@ module Make (E : Engine.S) = struct
 
   (* [capacity] bounds the number of participating processors;
      [leaf_size] bounds each local pool. *)
-  let create ?config ?(eliminate = true) ?(leaf_size = 4096) ~capacity ~width () =
+  let create ?config ?policy ?(eliminate = true) ?(leaf_size = 4096) ~capacity
+      ~width () =
     let config =
       match config with Some c -> c | None -> Tree_config.etree width
+    in
+    (* [?policy] overrides whatever the config carries: callers select
+       reactive adaptation without re-deriving the level schedule. *)
+    let config =
+      match policy with
+      | None -> config
+      | Some p -> Tree_config.with_policy config p
     in
     if config.Tree_config.width <> width then
       invalid_arg "Elim_pool.create: config width mismatch";
@@ -62,6 +70,7 @@ module Make (E : Engine.S) = struct
   let stats_by_level t = Tree.stats_by_level t.tree
   let balancer_stats_by_level t = Tree.balancer_stats_by_level t.tree
   let reset_stats t = Tree.reset_stats t.tree
+  let adapt_by_level t = Tree.adapt_by_level t.tree
   let expected_nodes_traversed t = Tree.expected_nodes_traversed t.tree
   let leaf_access_fraction t = Tree.leaf_access_fraction t.tree
 end

@@ -11,6 +11,7 @@ module Make (E : Engine.S) : sig
 
   val create :
     ?config:Tree_config.t ->
+    ?policy:Adapt.policy ->
     ?eliminate:bool ->
     ?leaf_size:int ->
     capacity:int ->
@@ -19,6 +20,8 @@ module Make (E : Engine.S) : sig
     'v t
   (** [capacity] bounds participating processors; [leaf_size] bounds
       each local pool; [config] defaults to [Tree_config.etree width];
+      [policy] overrides the config's adaptation policy (reactive spin
+      windows and prism widths, docs/ADAPTIVE.md);
       [~eliminate:false] keeps diffraction but disables elimination
       (ablation). *)
 
@@ -45,6 +48,11 @@ module Make (E : Engine.S) : sig
       step-property monitor reads the per-wire exit counters here. *)
 
   val reset_stats : 'v t -> unit
+
+  val adapt_by_level : 'v t -> (int * int list) list list
+  (** Current reactive [(spin, widths)] per balancer by depth; empty
+      inner lists under [`Static] (see {!Elim_tree.Make.adapt_by_level}). *)
+
   val expected_nodes_traversed : 'v t -> float
   val leaf_access_fraction : 'v t -> float
 end

@@ -15,9 +15,15 @@ module Make (E : Engine.S) = struct
 
   type 'v t = { tree : 'v Tree.t; leaves : 'v Local.t array }
 
-  let create ?config ?(eliminate = true) ?(leaf_size = 4096) ~capacity ~width () =
+  let create ?config ?policy ?(eliminate = true) ?(leaf_size = 4096) ~capacity
+      ~width () =
     let config =
       match config with Some c -> c | None -> Tree_config.etree width
+    in
+    let config =
+      match policy with
+      | None -> config
+      | Some p -> Tree_config.with_policy config p
     in
     if config.Tree_config.width <> width then
       invalid_arg "Elim_stack.create: config width mismatch";
@@ -50,4 +56,5 @@ module Make (E : Engine.S) = struct
   let stats_by_level t = Tree.stats_by_level t.tree
   let balancer_stats_by_level t = Tree.balancer_stats_by_level t.tree
   let reset_stats t = Tree.reset_stats t.tree
+  let adapt_by_level t = Tree.adapt_by_level t.tree
 end

@@ -12,12 +12,15 @@ module Make (E : Engine.S) : sig
 
   val create :
     ?config:Tree_config.t ->
+    ?policy:Adapt.policy ->
     ?eliminate:bool ->
     ?leaf_size:int ->
     capacity:int ->
     width:int ->
     unit ->
     'v t
+  (** [policy] overrides the config's adaptation policy (see
+      {!Elim_pool.Make.create}). *)
 
   val width : 'v t -> int
 
@@ -35,4 +38,8 @@ module Make (E : Engine.S) : sig
       {!Elim_tree.Make.balancer_stats_by_level}). *)
 
   val reset_stats : 'v t -> unit
+
+  val adapt_by_level : 'v t -> (int * int list) list list
+  (** Current reactive [(spin, widths)] per balancer by depth; empty
+      inner lists under [`Static]. *)
 end

@@ -13,6 +13,7 @@ type t = {
   mutable anti_entries : int;  (* anti-tokens entering this balancer *)
   mutable eliminated : int;    (* individuals eliminated here (2/pair) *)
   mutable diffracted : int;    (* individuals diffracted here (2/pair) *)
+  mutable misses : int;        (* prism candidate seen, no collision *)
   mutable toggled : int;       (* individuals that used the toggle bit *)
   (* per-output-wire exits, the observable the step property (Lemma
      3.1) speaks about: tokens/anti-tokens that left on wire 0 / 1
@@ -21,6 +22,14 @@ type t = {
   mutable token_out1 : int;
   mutable anti_out0 : int;
   mutable anti_out1 : int;
+  (* windowed read cursors (Adapt controller): where the last
+     [take_window] left off.  Cumulative counters above never rewind,
+     so a window is a cheap pair of subtractions — no second counter
+     set on the hot path, and reporting reads stay unaffected. *)
+  mutable w_entries : int;
+  mutable w_hits : int;
+  mutable w_misses : int;
+  mutable w_toggled : int;
 }
 
 let create () =
@@ -29,11 +38,16 @@ let create () =
     anti_entries = 0;
     eliminated = 0;
     diffracted = 0;
+    misses = 0;
     toggled = 0;
     token_out0 = 0;
     token_out1 = 0;
     anti_out0 = 0;
     anti_out1 = 0;
+    w_entries = 0;
+    w_hits = 0;
+    w_misses = 0;
+    w_toggled = 0;
   }
 
 let reset t =
@@ -41,11 +55,16 @@ let reset t =
   t.anti_entries <- 0;
   t.eliminated <- 0;
   t.diffracted <- 0;
+  t.misses <- 0;
   t.toggled <- 0;
   t.token_out0 <- 0;
   t.token_out1 <- 0;
   t.anti_out0 <- 0;
-  t.anti_out1 <- 0
+  t.anti_out1 <- 0;
+  t.w_entries <- 0;
+  t.w_hits <- 0;
+  t.w_misses <- 0;
+  t.w_toggled <- 0
 
 let entered t (kind : Location.kind) =
   match kind with
@@ -54,6 +73,7 @@ let entered t (kind : Location.kind) =
 
 let note_eliminated t n = t.eliminated <- t.eliminated + n
 let note_diffracted t n = t.diffracted <- t.diffracted + n
+let note_miss t = t.misses <- t.misses + 1
 let note_toggled t = t.toggled <- t.toggled + 1
 
 let note_exit t (kind : Location.kind) ~wire =
@@ -64,6 +84,34 @@ let note_exit t (kind : Location.kind) ~wire =
   | Anti, _ -> t.anti_out1 <- t.anti_out1 + 1
 
 let entries t = t.token_entries + t.anti_entries
+
+(* Windowed read path for the Adapt controller: the delta since the
+   previous [take_window], then advance the cursors.  The cumulative
+   counters are monotone, so the delta is exact under the simulator; the
+   controller is this record's only window reader (one balancer, one
+   controller), so the cursors have a single writer there too. *)
+type window = {
+  w_entries : int;
+  w_hits : int;    (* eliminated + diffracted *)
+  w_misses : int;
+  w_toggled : int;
+}
+
+let take_window t =
+  let entries = entries t and hits = t.eliminated + t.diffracted in
+  let w =
+    {
+      w_entries = entries - t.w_entries;
+      w_hits = hits - t.w_hits;
+      w_misses = t.misses - t.w_misses;
+      w_toggled = t.toggled - t.w_toggled;
+    }
+  in
+  t.w_entries <- entries;
+  t.w_hits <- hits;
+  t.w_misses <- t.misses;
+  t.w_toggled <- t.toggled;
+  w
 
 (* Sum a list of per-balancer stats (e.g. all balancers on one level).
    Each distinct record is counted once no matter how often it appears:
@@ -82,6 +130,7 @@ let merge stats =
           acc.anti_entries <- acc.anti_entries + s.anti_entries;
           acc.eliminated <- acc.eliminated + s.eliminated;
           acc.diffracted <- acc.diffracted + s.diffracted;
+          acc.misses <- acc.misses + s.misses;
           acc.toggled <- acc.toggled + s.toggled;
           acc.token_out0 <- acc.token_out0 + s.token_out0;
           acc.token_out1 <- acc.token_out1 + s.token_out1;

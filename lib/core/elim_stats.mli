@@ -8,11 +8,16 @@ type t = {
   mutable anti_entries : int;
   mutable eliminated : int;  (** individuals eliminated here (2/pair) *)
   mutable diffracted : int;  (** individuals diffracted here (2/pair) *)
+  mutable misses : int;      (** prism candidate seen, no collision *)
   mutable toggled : int;
   mutable token_out0 : int;  (** tokens that left on wire 0 *)
   mutable token_out1 : int;  (** tokens that left on wire 1 *)
   mutable anti_out0 : int;   (** anti-tokens that left on wire 0 *)
   mutable anti_out1 : int;   (** anti-tokens that left on wire 1 *)
+  mutable w_entries : int;   (** {!take_window} cursor, not a counter *)
+  mutable w_hits : int;
+  mutable w_misses : int;
+  mutable w_toggled : int;
 }
 
 val create : unit -> t
@@ -21,6 +26,12 @@ val reset : t -> unit
 val entered : t -> Location.kind -> unit
 val note_eliminated : t -> int -> unit
 val note_diffracted : t -> int -> unit
+
+val note_miss : t -> unit
+(** A prism exchange surfaced a collision candidate but no collision
+    came of it (lost CAS race or kind mismatch) — the "busy but not
+    absorbing" signal the adaptive controller reacts to. *)
+
 val note_toggled : t -> unit
 
 val note_exit : t -> Location.kind -> wire:int -> unit
@@ -30,6 +41,20 @@ val note_exit : t -> Location.kind -> wire:int -> unit
 
 val entries : t -> int
 (** Tokens plus anti-tokens that entered. *)
+
+type window = {
+  w_entries : int;
+  w_hits : int;  (** eliminated + diffracted *)
+  w_misses : int;
+  w_toggled : int;
+}
+
+val take_window : t -> window
+(** Counter deltas since the previous [take_window] (cursor-based: one
+    subtraction per field, no extra work on the hot path).  Cumulative
+    reads ({!merge}, {!elimination_fraction}) are unaffected.  Intended
+    for the single per-balancer adaptive controller; windows from
+    concurrent readers would race exactly like the counters do. *)
 
 val merge : t list -> t
 (** Sum (e.g. all balancers of one tree level). *)

@@ -57,8 +57,9 @@ module Make (E : Engine.S) = struct
       Array.init (width - 1) (fun i ->
           let depth = depth_of_index i in
           let level = config.levels.(depth) in
-          Balancer.create ~mode ~eliminate ~depth ?bug ~id:i
-            ~prism_widths:level.prism_widths ~spin:level.spin ~location ())
+          Balancer.create ~mode ~eliminate ~depth ?bug
+            ~policy:config.policy ~id:i ~prism_widths:level.prism_widths
+            ~spin:level.spin ~location ())
     in
     {
       width;
@@ -131,6 +132,15 @@ module Make (E : Engine.S) = struct
 
   let reset_stats t =
     Array.iter (fun b -> Elim_stats.reset (Balancer.stats b)) t.balancers
+
+  (* Per-depth reactive state, root level first: each balancer's
+     current [(spin, widths)].  Empty inner lists under `Static. *)
+  let adapt_by_level t =
+    let balancers = Array.to_list t.balancers in
+    List.init t.depth (fun d ->
+        balancers
+        |> List.filteri (fun i _ -> depth_of_index i = d)
+        |> List.filter_map Balancer.adapt_state)
 
   (* Expected number of balancers traversed per token (plus one leaf
      visit for non-eliminated ones), §2.5's "expected number of nodes". *)

@@ -44,6 +44,10 @@ module Make (E : Engine.S) : sig
 
   val reset_stats : 'v t -> unit
 
+  val adapt_by_level : 'v t -> (int * int list) list list
+  (** Current reactive [(spin, prism widths)] per balancer, grouped by
+      depth, root first; empty inner lists under [`Static]. *)
+
   val expected_nodes_traversed : 'v t -> float
   (** Average balancers (plus one leaf visit for survivors) per request
       since the last reset — §2.5.1's "expected number of nodes". *)

@@ -29,9 +29,14 @@ module Make (E : Engine.S) = struct
     width : int;
   }
 
-  let create ?config ?(eliminate = true) ~capacity ~width () =
+  let create ?config ?policy ?(eliminate = true) ~capacity ~width () =
     let config =
       match config with Some c -> c | None -> Tree_config.etree width
+    in
+    let config =
+      match policy with
+      | None -> config
+      | Some p -> Tree_config.with_policy config p
     in
     if config.Tree_config.width <> width then
       invalid_arg "Inc_dec_counter.create: config width mismatch";
@@ -55,4 +60,5 @@ module Make (E : Engine.S) = struct
   let traverse t ~kind = Tree.traverse t.tree ~kind ~value:None
   let stats_by_level t = Tree.stats_by_level t.tree
   let balancer_stats_by_level t = Tree.balancer_stats_by_level t.tree
+  let adapt_by_level t = Tree.adapt_by_level t.tree
 end

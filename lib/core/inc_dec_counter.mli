@@ -21,11 +21,14 @@ module Make (E : Engine.S) : sig
 
   val create :
     ?config:Tree_config.t ->
+    ?policy:Adapt.policy ->
     ?eliminate:bool ->
     capacity:int ->
     width:int ->
     unit ->
     t
+  (** [policy] overrides the config's adaptation policy (see
+      {!Elim_pool.Make.create}). *)
 
   val increment : t -> outcome
   val decrement : t -> outcome
@@ -38,4 +41,8 @@ module Make (E : Engine.S) : sig
   val balancer_stats_by_level : t -> Elim_stats.t list list
   (** Live per-balancer records grouped by depth (see
       {!Elim_tree.Make.balancer_stats_by_level}). *)
+
+  val adapt_by_level : t -> (int * int list) list list
+  (** Current reactive [(spin, widths)] per balancer by depth; empty
+      inner lists under [`Static]. *)
 end

@@ -22,6 +22,8 @@ type level = {
 type t = {
   width : int;        (* number of tree outputs; a power of two *)
   levels : level array; (* levels.(d) configures all depth-d balancers *)
+  policy : Adapt.policy; (* `Static = the schedules below, as tuned;
+                            `Reactive = adapt spin/width around them *)
 }
 
 let is_power_of_two w = w > 0 && w land (w - 1) = 0
@@ -42,7 +44,12 @@ let validate t =
         (fun w -> if w < 1 then invalid_arg "Tree_config: prism width < 1")
         l.prism_widths)
     t.levels;
+  (match t.policy with
+  | `Static -> ()
+  | `Reactive c -> ignore (Adapt.validate_config c));
   t
+
+let with_policy t policy = validate { t with policy }
 
 (* The paper quotes spin 32/16/8/4/2 (by depth) in Proteus time units,
    where globally visible operations cost only a few units.  Our cost
@@ -54,7 +61,7 @@ let spin_for ?(base = 64) ~depth () = max 2 (base lsr depth)
 
 (* The paper's elimination-tree schedule.  Depth 0 and 1 get two prisms
    of decreasing size; deeper levels one small prism. *)
-let etree ?spin_base width =
+let etree ?spin_base ?(policy = `Static) width =
   let depth = depth_of_width width in
   let levels =
     Array.init depth (fun d ->
@@ -65,10 +72,10 @@ let etree ?spin_base width =
         in
         { prism_widths; spin = spin_for ?base:spin_base ~depth:d () })
   in
-  validate { width; levels }
+  validate { width; levels; policy }
 
 (* The original single-prism diffracting-tree schedule of [24]. *)
-let dtree ?spin_base width =
+let dtree ?spin_base ?(policy = `Static) width =
   let depth = depth_of_width width in
   let paper_32 = [| 8; 4; 2; 2; 1 |] in
   let levels =
@@ -79,9 +86,9 @@ let dtree ?spin_base width =
         in
         { prism_widths = [ prism ]; spin = spin_for ?base:spin_base ~depth:d () })
   in
-  validate { width; levels }
+  validate { width; levels; policy }
 
 (* The multi-layered-prism diffracting balancer of §2.5.2 ("Dtree-32 +
    MulPri"): the elimination tree's prism schedule applied to a plain
    diffracting tree. *)
-let dtree_multiprism ?spin_base width = etree ?spin_base width
+let dtree_multiprism ?spin_base ?policy width = etree ?spin_base ?policy width

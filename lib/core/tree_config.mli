@@ -9,26 +9,35 @@ type level = {
 type t = {
   width : int;          (** number of tree outputs; a power of two *)
   levels : level array; (** [levels.(d)] configures all depth-d balancers *)
+  policy : Adapt.policy;
+      (** [`Static]: the per-level settings as given.  [`Reactive c]:
+          every balancer runs an {!Adapt.Controller} that adapts its
+          spin window and effective prism widths around them
+          (docs/ADAPTIVE.md). *)
 }
 
 val validate : t -> t
 (** Returns its argument; raises [Invalid_argument] on a non-power-of-
-    two width, a wrong number of levels, or nonsensical entries. *)
+    two width, a wrong number of levels, nonsensical entries, or an
+    invalid reactive config. *)
+
+val with_policy : t -> Adapt.policy -> t
+(** The same schedule under a different adaptation policy. *)
 
 val depth_of_width : int -> int
 (** log2 of the width: balancer levels in the tree. *)
 
-val etree : ?spin_base:int -> int -> t
+val etree : ?spin_base:int -> ?policy:Adapt.policy -> int -> t
 (** The paper's elimination-tree schedule: two prisms at the top two
     levels (root: subtree width then width/4), one small prism below;
     spin halving by depth from [spin_base] (default 64, twice the
     paper's quoted numbers — see DESIGN.md §6; native deployments with
     cheap atomics may prefer a smaller base). *)
 
-val dtree : ?spin_base:int -> int -> t
+val dtree : ?spin_base:int -> ?policy:Adapt.policy -> int -> t
 (** The original single-prism diffracting-tree schedule of [24]
     (widths 8/4/2/2/1 and spin 32/16/8/4/2 for width 32). *)
 
-val dtree_multiprism : ?spin_base:int -> int -> t
+val dtree_multiprism : ?spin_base:int -> ?policy:Adapt.policy -> int -> t
 (** The multi-layered-prism diffracting balancer of §2.5.2 — the
     elimination tree's prism schedule on a plain diffracting tree. *)

@@ -142,7 +142,8 @@ let sink t (e : Event.t) =
       end
   | Event.Op_begin _ | Event.Op_end _ | Event.Prism_enter _
   | Event.Prism_exit _ | Event.Prism_cas _ | Event.Toggle_wait _
-  | Event.Toggle_pass _ | Event.Fault_stall _ | Event.Fault_crash _ ->
+  | Event.Toggle_pass _ | Event.Adapt_spin _ | Event.Adapt_width _
+  | Event.Fault_stall _ | Event.Fault_crash _ ->
       ()
 
 (* ------------------------------------------------------------------ *)

@@ -180,6 +180,24 @@ let on_event t (e : Event.t) =
         if r >= 2 then begin_span t ~pid ~time ~name:"spin"
     | Event.Spin_end { pid; time } ->
         if r >= 2 then end_span t ~pid ~time ~args:""
+    | Event.Adapt_spin { pid; time; balancer; spin } ->
+        if r >= 2 then begin
+          instant t ~pid ~time ~name:"adapt-spin"
+            ~args:(Printf.sprintf {|"balancer":%d,"spin":%d|} balancer spin);
+          counter t ~time
+            ~name:(Printf.sprintf "spin window b%d" balancer)
+            ~value:spin
+        end
+    | Event.Adapt_width { pid; time; balancer; layer; width } ->
+        if r >= 2 then begin
+          instant t ~pid ~time ~name:"adapt-width"
+            ~args:
+              (Printf.sprintf {|"balancer":%d,"layer":%d,"width":%d|} balancer
+                 layer width);
+          counter t ~time
+            ~name:(Printf.sprintf "prism width b%d.%d" balancer layer)
+            ~value:width
+        end
     (* -- full level ------------------------------------------------ *)
     | Event.Mem_op { pid; kind; loc; issued; begins; finish; fired } ->
         if r >= 3 then begin

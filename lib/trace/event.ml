@@ -86,6 +86,17 @@ type t =
     }
   | Spin_begin of { pid : int; time : int }
   | Spin_end of { pid : int; time : int }
+  (* -- reactive controller decisions (level: events) — emitted by a
+     balancer's Adapt controller only when the value changed, so a
+     clamped controller emits nothing (docs/ADAPTIVE.md) -- *)
+  | Adapt_spin of { pid : int; time : int; balancer : int; spin : int }
+  | Adapt_width of {
+      pid : int;
+      time : int;
+      balancer : int;
+      layer : int;
+      width : int; (* the new effective width of this prism layer *)
+    }
   (* -- raw scheduler intervals (level: full) -- *)
   | Mem_op of {
       pid : int;
@@ -120,6 +131,8 @@ let pid = function
   | Toggle_pass e -> e.pid
   | Spin_begin e -> e.pid
   | Spin_end e -> e.pid
+  | Adapt_spin e -> e.pid
+  | Adapt_width e -> e.pid
   | Mem_op e -> e.pid
   | Delay_done e -> e.pid
   | Fault_stall e -> e.pid
@@ -142,6 +155,8 @@ let time = function
   | Toggle_pass e -> e.time
   | Spin_begin e -> e.time
   | Spin_end e -> e.time
+  | Adapt_spin e -> e.time
+  | Adapt_width e -> e.time
   | Mem_op e -> e.issued
   | Delay_done e -> e.issued
   | Fault_stall e -> e.time
@@ -161,6 +176,8 @@ let name = function
   | Toggle_pass _ -> "toggle-pass"
   | Spin_begin _ -> "spin-begin"
   | Spin_end _ -> "spin-end"
+  | Adapt_spin _ -> "adapt-spin"
+  | Adapt_width _ -> "adapt-width"
   | Mem_op _ -> "mem-op"
   | Delay_done _ -> "delay"
   | Fault_stall _ -> "fault-stall"

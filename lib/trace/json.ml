@@ -185,6 +185,7 @@ let parse_file file =
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 let to_list = function Arr vs -> Some vs | _ -> None
 let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 let to_num = function Num f -> Some f | _ -> None
 
 let to_int = function

@@ -38,15 +38,54 @@ let etree_pool ?(width = 32) ~procs () =
     ~residue:(fun () -> Epool.residue p)
     ()
 
-(* Estack-<width>: the stack-like pool (§3), for LIFO scheduling. *)
-let estack_pool ?(width = 32) ~procs () =
-  let s = Estack.create ~capacity:procs ~width ~leaf_size:8192 () in
+(* Etree-<width>/s<base>: the elimination-tree pool on an alternative
+   static spin schedule — the hand-tuning axis the adaptive controller
+   competes against (EXPERIMENTS.md A1). *)
+let etree_pool_spin ?(width = 32) ~spin_base ~procs () =
+  let p =
+    Epool.create
+      ~config:(Core.Tree_config.etree ~spin_base width)
+      ~capacity:procs ~width ~leaf_size:8192 ()
+  in
   Pool_obj.pool
-    ~name:(Printf.sprintf "Estack-%d" width)
+    ~name:(Printf.sprintf "Etree-%d/s%d" width spin_base)
+    ~enqueue:(fun v -> Epool.enqueue p v)
+    ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
+    ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ~residue:(fun () -> Epool.residue p)
+    ()
+
+(* Etree-<width>/adapt: the reactive elimination-tree pool
+   (docs/ADAPTIVE.md) — spin windows and prism widths adapt online
+   around the paper's static tuning. *)
+let etree_pool_reactive ?(width = 32) ?(config = Adapt.default) ~procs () =
+  let p =
+    Epool.create ~policy:(`Reactive config) ~capacity:procs ~width
+      ~leaf_size:8192 ()
+  in
+  Pool_obj.pool
+    ~name:(Printf.sprintf "Etree-%d/adapt" width)
+    ~enqueue:(fun v -> Epool.enqueue p v)
+    ~dequeue:(fun ~stop -> Epool.dequeue ~stop p)
+    ~stats_by_level:(fun () -> Epool.stats_by_level p)
+    ~residue:(fun () -> Epool.residue p)
+    ~adapt_by_level:(fun () -> Epool.adapt_by_level p)
+    ()
+
+(* Estack-<width>: the stack-like pool (§3), for LIFO scheduling. *)
+let estack_pool ?(width = 32) ?policy ~procs () =
+  let s = Estack.create ?policy ~capacity:procs ~width ~leaf_size:8192 () in
+  let name =
+    match policy with
+    | Some (`Reactive _) -> Printf.sprintf "Estack-%d/adapt" width
+    | Some `Static | None -> Printf.sprintf "Estack-%d" width
+  in
+  Pool_obj.pool ~name
     ~enqueue:(fun v -> Estack.push s v)
     ~dequeue:(fun ~stop -> Estack.pop ~stop s)
     ~stats_by_level:(fun () -> Estack.stats_by_level s)
     ~residue:(fun () -> Estack.residue s)
+    ~adapt_by_level:(fun () -> Estack.adapt_by_level s)
     ()
 
 (* The Figure-5 centralized pool over a pair of counters. *)
@@ -257,7 +296,10 @@ let pool_registry : (string * (procs:int -> int Pool_obj.pool)) list =
   [
     ("etree", fun ~procs -> etree_pool ~procs ());
     ("etree64", fun ~procs -> etree_pool ~width:64 ~procs ());
+    ("etree-adapt", fun ~procs -> etree_pool_reactive ~procs ());
     ("estack", fun ~procs -> estack_pool ~procs ());
+    ("estack-adapt",
+     fun ~procs -> estack_pool ~policy:(`Reactive Adapt.default) ~procs ());
     ("mcs", fun ~procs -> mcs_pool ~procs ());
     ("ctree", fun ~procs -> ctree_pool ~procs ());
     ("ctree256", fun ~procs -> ctree_pool ~tree_procs:256 ~procs ());

@@ -25,7 +25,20 @@ val ctree_width : procs:int -> int
 (** {2 The paper's methods} *)
 
 val etree_pool : ?width:int -> procs:int -> unit -> int Pool_obj.pool
-val estack_pool : ?width:int -> procs:int -> unit -> int Pool_obj.pool
+
+val etree_pool_spin :
+  ?width:int -> spin_base:int -> procs:int -> unit -> int Pool_obj.pool
+(** The elimination-tree pool on an alternative static spin schedule
+    ("Etree-w/s<base>") — the hand-tuning axis the reactive controller
+    competes against (EXPERIMENTS.md A1). *)
+
+val etree_pool_reactive :
+  ?width:int -> ?config:Adapt.config -> procs:int -> unit -> int Pool_obj.pool
+(** "Etree-w/adapt": reactive spin windows and prism widths
+    (docs/ADAPTIVE.md); the pool exposes [adapt_by_level]. *)
+
+val estack_pool :
+  ?width:int -> ?policy:Adapt.policy -> procs:int -> unit -> int Pool_obj.pool
 val mcs_pool : procs:int -> unit -> int Pool_obj.pool
 val ctree_pool : ?tree_procs:int -> procs:int -> unit -> int Pool_obj.pool
 val dtree_pool : ?width:int -> procs:int -> unit -> int Pool_obj.pool

@@ -9,12 +9,15 @@ type 'v pool = {
      (stats) or without an inspectable buffer (residue). *)
   stats_by_level : (unit -> Core.Elim_stats.t list) option;
   residue : (unit -> int) option;
+  adapt_by_level : (unit -> (int * int list) list list) option;
+  (* current reactive (spin, widths) per balancer by depth; None for
+     static methods.  Host-level reads: safe outside a run too. *)
 }
 
 type counter = { cname : string; fetch_and_inc : unit -> int }
 
-let pool ?stats_by_level ?residue ~name ~enqueue ~dequeue () =
-  { name; enqueue; dequeue; stats_by_level; residue }
+let pool ?stats_by_level ?residue ?adapt_by_level ~name ~enqueue ~dequeue () =
+  { name; enqueue; dequeue; stats_by_level; residue; adapt_by_level }
 
 let counter ~name (c : Sync.Counter.t) =
   { cname = name; fetch_and_inc = c.Sync.Counter.fetch_and_inc }

@@ -12,6 +12,10 @@ type 'v pool = {
           reads: call inside a simulator run); [None] when the method
           cannot report one.  The chaos conservation audit probes
           this. *)
+  adapt_by_level : (unit -> (int * int list) list list) option;
+      (** current reactive [(spin, widths)] per balancer by depth
+          (host-level reads, safe outside a run); [None] for static
+          methods. *)
 }
 
 type counter = { cname : string; fetch_and_inc : unit -> int }
@@ -19,6 +23,7 @@ type counter = { cname : string; fetch_and_inc : unit -> int }
 val pool :
   ?stats_by_level:(unit -> Core.Elim_stats.t list) ->
   ?residue:(unit -> int) ->
+  ?adapt_by_level:(unit -> (int * int list) list list) ->
   name:string ->
   enqueue:('v -> unit) ->
   dequeue:(stop:(unit -> bool) -> 'v option) ->

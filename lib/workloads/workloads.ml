@@ -30,5 +30,6 @@ module Response_time = Response_time
 module Table1 = Table1
 module Lifo_fidelity = Lifo_fidelity
 module Load_sweep = Load_sweep
+module Adapt_sweep = Adapt_sweep
 module Report = Report
 module Traced = Traced

@@ -1,0 +1,420 @@
+(* Tests for the reactive elimination layer (lib/adapt,
+   docs/ADAPTIVE.md): windowed stats reads, controller MIMD semantics,
+   clamp invariants under random configurations and window streams,
+   the paper's safety properties (step property, pairing, conservation
+   — Lemmas 3.1/3.2) for reactive trees under generated fault plans at
+   2/8/32 processors, and the differential guarantee that a reactive
+   controller clamped to the static tuning is byte-identical to
+   [`Static]. *)
+
+module E = Sim.Engine
+module Tree = Core.Elim_tree.Make (E)
+module Pool = Core.Elim_pool.Make (E)
+module Stats = Core.Elim_stats
+module FP = Faults.Fault_plan
+module W = Workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let run ?seed ~procs body =
+  let stats = Sim.run ?seed ~procs ~abort_after:100_000_000 body in
+  check_int "no simulated processor was cut off" 0 stats.Sim.aborted_procs;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Windowed stats reads (Elim_stats.take_window)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_take_window_deltas () =
+  let s = Stats.create () in
+  Stats.entered s Core.Location.Token;
+  Stats.entered s Core.Location.Token;
+  Stats.entered s Core.Location.Anti;
+  Stats.note_eliminated s 2;
+  Stats.note_miss s;
+  Stats.note_toggled s;
+  let w = Stats.take_window s in
+  check_int "w1 entries" 3 w.Stats.w_entries;
+  check_int "w1 hits" 2 w.Stats.w_hits;
+  check_int "w1 misses" 1 w.Stats.w_misses;
+  check_int "w1 toggled" 1 w.Stats.w_toggled;
+  (* The next window sees only activity since the previous read. *)
+  Stats.entered s Core.Location.Anti;
+  Stats.note_diffracted s 2;
+  let w = Stats.take_window s in
+  check_int "w2 entries" 1 w.Stats.w_entries;
+  check_int "w2 hits (diffraction counts)" 2 w.Stats.w_hits;
+  check_int "w2 misses" 0 w.Stats.w_misses;
+  check_int "w2 toggled" 0 w.Stats.w_toggled;
+  (* A quiet period yields an all-zero window, not a re-read. *)
+  let w = Stats.take_window s in
+  check_int "empty window" 0 (w.Stats.w_entries + w.Stats.w_hits
+                              + w.Stats.w_misses + w.Stats.w_toggled);
+  (* Cumulative reads are unaffected by windowing: merge still sees the
+     full counts exactly once (no double-counting through cursors). *)
+  check_int "cumulative entries intact" 4 (Stats.entries s);
+  let m = Stats.merge [ s; Stats.create () ] in
+  check_int "merge sees full eliminations" 2 m.Stats.eliminated;
+  check_int "merge sees full misses" 1 m.Stats.misses;
+  check_int "merge sees full entries" 4 (Stats.entries m)
+
+(* ------------------------------------------------------------------ *)
+(* Controller unit semantics                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Down factor 1/2 makes every randomized rounding exact, so the test
+   can assert precise values. *)
+let unit_cfg =
+  Adapt.validate_config
+    {
+      Adapt.default with
+      Adapt.period = 4;
+      hi_pct = 90;
+      lo_pct = 10;
+      up_num = 2;
+      up_den = 1;
+      down_num = 1;
+      down_den = 2;
+      min_pct = 25;
+      max_pct = 200;
+    }
+
+let window ~entries ~hits ~toggled =
+  { Adapt.entries; hits; misses = 0; toggled }
+
+let test_controller_mimd () =
+  let c = Adapt.Controller.create ~config:unit_cfg ~id:0 ~spin0:16
+      ~widths0:[ 8; 2 ] in
+  check_int "initial spin = static" 16 (Adapt.Controller.spin c);
+  Alcotest.(check (pair int int)) "spin clamp band" (4, 32)
+    (Adapt.Controller.spin_bounds c);
+  Alcotest.(check (pair int int)) "outer width band" (2, 16)
+    (Adapt.Controller.width_bounds c ~layer:0);
+  Alcotest.(check (list int)) "allocation at the ceiling" [ 16; 4 ]
+    (Adapt.Controller.alloc_widths c);
+  (* Epochs close every [period] entries. *)
+  for _ = 1 to 3 do
+    check_bool "mid-epoch tick" false (Adapt.Controller.tick c)
+  done;
+  check_bool "period-th tick closes the epoch" true (Adapt.Controller.tick c);
+  (* All-toggle window: shrink by exactly 1/2. *)
+  let d = Adapt.Controller.decide c (window ~entries:4 ~hits:0 ~toggled:4) in
+  check_bool "shrink changed something" true (Adapt.Controller.changed d);
+  check_int "spin halved" 8 (Adapt.Controller.spin c);
+  Alcotest.(check (list int)) "widths halved (floor 1)" [ 4; 1 ]
+    (Adapt.Controller.widths c);
+  (* All-hit window: grow by x2, back to the static values. *)
+  let d = Adapt.Controller.decide c (window ~entries:4 ~hits:4 ~toggled:0) in
+  check_bool "grow changed something" true (Adapt.Controller.changed d);
+  check_int "spin doubled back" 16 (Adapt.Controller.spin c);
+  Alcotest.(check (list int)) "widths doubled back" [ 8; 2 ]
+    (Adapt.Controller.widths c);
+  (* Dead-band window: hold, nothing changes. *)
+  let d = Adapt.Controller.decide c (window ~entries:4 ~hits:2 ~toggled:2) in
+  check_bool "hold changes nothing" false (Adapt.Controller.changed d);
+  check_int "spin held" 16 (Adapt.Controller.spin c);
+  check_int "three epochs" 3 (Adapt.Controller.epochs c);
+  check_int "one grow" 1 (Adapt.Controller.grows c);
+  check_int "one shrink" 1 (Adapt.Controller.shrinks c)
+
+let test_controller_deterministic () =
+  let mk () =
+    Adapt.Controller.create ~config:Adapt.default ~id:3 ~spin0:64
+      ~widths0:[ 32; 8 ]
+  in
+  let a = mk () and b = mk () in
+  let windows =
+    List.init 40 (fun i ->
+        window ~entries:64 ~hits:(i * 7 mod 65) ~toggled:(64 - (i * 7 mod 65)))
+  in
+  List.iter
+    (fun w ->
+      let (_ : Adapt.Controller.decision) = Adapt.Controller.decide a w in
+      let (_ : Adapt.Controller.decision) = Adapt.Controller.decide b w in
+      check_bool "same windows, same state" true
+        (Adapt.Controller.snapshot a = Adapt.Controller.snapshot b))
+    windows
+
+let prop_controller_clamped =
+  (* Any clamp band, any window stream: spin and every width stay inside
+     the configured band, always >= 1. *)
+  QCheck.Test.make ~name:"controller stays inside its clamp band" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 1 400) (int_range 1 400))
+        (small_list (pair (int_range 0 128) (int_range 0 128))))
+    (fun ((a, b), stream) ->
+      let config =
+        Adapt.validate_config
+          { Adapt.default with Adapt.min_pct = min a b; max_pct = max a b }
+      in
+      let c =
+        Adapt.Controller.create ~config ~id:2 ~spin0:64 ~widths0:[ 32; 8 ]
+      in
+      let slo, shi = Adapt.Controller.spin_bounds c in
+      List.for_all
+        (fun (busy, toggled) ->
+          let hits = min busy 128 in
+          let w =
+            { Adapt.entries = hits + toggled; hits; misses = busy - hits;
+              toggled }
+          in
+          let (_ : Adapt.Controller.decision) = Adapt.Controller.decide c w in
+          let spin = Adapt.Controller.spin c in
+          slo <= spin && spin <= shi && spin >= 1
+          && List.for_all2
+               (fun layer width ->
+                 let lo, hi = Adapt.Controller.width_bounds c ~layer in
+                 lo <= width && width <= hi && width >= 1)
+               [ 0; 1 ]
+               (Adapt.Controller.widths c))
+        stream)
+
+(* ------------------------------------------------------------------ *)
+(* Reactive trees keep the paper's guarantees under faults and load    *)
+(* ------------------------------------------------------------------ *)
+
+let reactive_cfg =
+  (* A short epoch so adaptation fires many times even in small runs. *)
+  Adapt.validate_config { Adapt.default with Adapt.period = 8 }
+
+(* Non-crash fault plans only: a crash-stopped processor abandons its
+   traversal mid-tree, which legitimately breaks quiescent counting —
+   robustness under crashes is the chaos harness's subject, not this
+   layer's. *)
+let fault_plan ~level ~procs ~horizon =
+  if level = 0 then FP.none
+  else
+    FP.union ~seed:level
+      [
+        FP.stalls ~seed:level ~procs ~horizon ~count:(min procs (2 * level))
+          ~cycles:(300 * level);
+        FP.jitter ~from_:0 ~until_:horizon ~amp:(8 * level);
+      ]
+
+let drive_reactive_tree ?(mode = `Pool) ~seed ~fault_level ~width ~tokens
+    ~antis () =
+  let procs = max 1 (tokens + antis) in
+  let config = Core.Tree_config.etree ~policy:(`Reactive reactive_cfg) width in
+  let leaf_order = match mode with `Pool -> `Natural | `Stack -> `Interleaved in
+  let tree = Tree.create ~mode ~leaf_order ~capacity:procs config in
+  let y = Array.make width 0 and ybar = Array.make width 0 in
+  let elim_tokens = ref 0 and elim_antis = ref 0 in
+  let horizon = 200_000 in
+  let plan = fault_plan ~level:fault_level ~procs ~horizon in
+  let stats =
+    Faults.Inject.run ~seed ~plan ~procs ~abort_after:100_000_000 (fun p ->
+        let kind : Core.Location.kind = if p < tokens then Token else Anti in
+        if p < tokens + antis then begin
+          E.delay (E.random_int 60);
+          match Tree.traverse tree ~kind ~value:None with
+          | Tree.Leaf i -> (
+              match kind with
+              | Token -> y.(i) <- y.(i) + 1
+              | Anti -> ybar.(i) <- ybar.(i) + 1)
+          | Tree.Eliminated _ -> (
+              match kind with
+              | Token -> incr elim_tokens
+              | Anti -> incr elim_antis)
+        end)
+  in
+  check_int "nobody aborted" 0 stats.Sim.aborted_procs;
+  check_int "nobody crashed" 0 stats.Sim.crashed_procs;
+  (tree, y, ybar, !elim_tokens, !elim_antis)
+
+(* The adapted state, wherever the run left it, stays within the outer
+   static bounds (root spin base 64, widest prism = tree width): with
+   the default max_pct = 100 nothing may exceed its static value. *)
+let check_adapted_in_bounds ~width tree =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (spin, widths) ->
+          check_bool "spin within [1, base]" true (1 <= spin && spin <= 64);
+          List.iter
+            (fun w ->
+              check_bool "width within [1, tree width]" true
+                (1 <= w && w <= width))
+            widths)
+        level)
+    (Tree.adapt_by_level tree)
+
+let procs_axis = [| 2; 8; 32 |]
+
+let prop_reactive_pool_safety =
+  QCheck.Test.make
+    ~name:"reactive pool tree: pairing + leaf balancing under faults"
+    ~count:24
+    QCheck.(triple (int_range 0 2) (int_range 0 100) (int_range 0 3))
+    (fun (pi, tshare, fault_level) ->
+      let procs = procs_axis.(pi) in
+      let tokens = max 1 (min (procs - 1) (procs * tshare / 100)) in
+      let antis = procs - tokens in
+      let width = if procs <= 2 then 2 else 8 in
+      let tree, y, ybar, et, ea =
+        drive_reactive_tree
+          ~seed:(tshare + (100 * fault_level) + pi)
+          ~fault_level ~width ~tokens ~antis ()
+      in
+      check_adapted_in_bounds ~width tree;
+      (* Lemma 2.1 at quiescence: eliminations pair exactly, and with
+         x >= x-bar every leaf keeps y_i >= ybar_i. *)
+      et = ea
+      && (tokens < antis
+          || Array.for_all Fun.id (Array.mapi (fun i yi -> yi >= ybar.(i)) y)))
+
+let prop_reactive_gap_step =
+  QCheck.Test.make
+    ~name:"reactive stack tree: gap step property under faults" ~count:24
+    QCheck.(triple (int_range 0 2) (int_range 0 100) (int_range 0 3))
+    (fun (pi, tshare, fault_level) ->
+      let procs = procs_axis.(pi) in
+      let tokens = max 1 (min (procs - 1) (procs * tshare / 100)) in
+      let antis = procs - tokens in
+      let width = if procs <= 2 then 2 else 8 in
+      let tree, y, ybar, _, _ =
+        drive_reactive_tree ~mode:`Stack
+          ~seed:(tshare + (100 * fault_level) + (7 * pi))
+          ~fault_level ~width ~tokens ~antis ()
+      in
+      check_adapted_in_bounds ~width tree;
+      (* Lemma 3.2: 0 <= (y_i - ybar_i) - (y_j - ybar_j) <= 1, i < j. *)
+      let ok = ref true in
+      for i = 0 to width - 1 do
+        for j = i + 1 to width - 1 do
+          let gap = y.(i) - ybar.(i) - (y.(j) - ybar.(j)) in
+          if gap < 0 || gap > 1 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_reactive_pool_conservation =
+  QCheck.Test.make ~name:"reactive pool: conservation under faults" ~count:16
+    QCheck.(triple (int_range 0 2) (int_range 1 4) (int_range 0 3))
+    (fun (pi, per_proc, fault_level) ->
+      let procs = procs_axis.(pi) in
+      let width = if procs <= 2 then 2 else 8 in
+      let pool : int Pool.t =
+        Pool.create ~policy:(`Reactive reactive_cfg) ~capacity:procs ~width ()
+      in
+      let dequeued = Array.make (procs * per_proc) (-1) in
+      let slot = ref 0 in
+      let horizon = 200_000 in
+      let plan = fault_plan ~level:fault_level ~procs ~horizon in
+      let stats =
+        Faults.Inject.run ~seed:(per_proc + fault_level) ~plan ~procs
+          ~abort_after:100_000_000 (fun p ->
+            for i = 0 to per_proc - 1 do
+              Pool.enqueue pool ((p * per_proc) + i);
+              E.delay (E.random_int 30);
+              match Pool.dequeue pool with
+              | Some v ->
+                  let s = !slot in
+                  incr slot;
+                  dequeued.(s) <- v
+              | None -> Alcotest.fail "P2 violated: dequeue failed"
+            done)
+      in
+      check_int "nobody aborted" 0 stats.Sim.aborted_procs;
+      let residue = ref (-1) in
+      let _ = run ~procs:1 (fun _ -> residue := Pool.residue pool) in
+      !residue = 0
+      && List.sort compare (Array.to_list dequeued)
+         = List.init (procs * per_proc) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: clamped reactive is byte-identical to `Static         *)
+(* ------------------------------------------------------------------ *)
+
+let clamped_cfg =
+  Adapt.validate_config
+    { Adapt.default with Adapt.min_pct = 100; max_pct = 100 }
+
+let traced_pc make =
+  W.Traced.run ~chrome_level:Etrace.Level.Events ~procs:32 (fun () ->
+      W.Produce_consume.run ~seed:5 ~horizon:30_000 ~workload:300 ~procs:32
+        make)
+
+let test_clamped_reactive_byte_identical () =
+  (* With min_pct = max_pct = 100 every controller decision lands back
+     on the static tuning, the controller performs no engine-visible
+     operation and emits no trace event — so the whole simulated run,
+     down to engine op counts and the rendered Chrome timeline, must be
+     byte-identical to the static pool's. *)
+  let s = traced_pc (fun ~procs -> W.Methods.etree_pool ~procs ()) in
+  let r =
+    traced_pc (fun ~procs ->
+        W.Methods.etree_pool_reactive ~config:clamped_cfg ~procs ())
+  in
+  let ps = s.W.Traced.value and pr = r.W.Traced.value in
+  check_int "ops identical" ps.W.Produce_consume.ops pr.W.Produce_consume.ops;
+  check_int "throughput identical" ps.W.Produce_consume.throughput_per_m
+    pr.W.Produce_consume.throughput_per_m;
+  Alcotest.(check (float 0.0)) "latency identical"
+    ps.W.Produce_consume.latency pr.W.Produce_consume.latency;
+  check_bool "engine op counters identical" true
+    (ps.W.Produce_consume.mem = pr.W.Produce_consume.mem);
+  check_string "chrome timelines byte-identical"
+    (Etrace.Chrome.contents (Option.get s.W.Traced.chrome))
+    (Etrace.Chrome.contents (Option.get r.W.Traced.chrome))
+
+let test_reactive_replay_deterministic () =
+  (* Same seed, same config: a reactive run replays byte-for-byte,
+     including the controllers' final adapted state. *)
+  let go () =
+    let captured = ref None in
+    let p =
+      W.Produce_consume.run ~seed:11 ~horizon:30_000 ~workload:2_000 ~procs:32
+        (fun ~procs ->
+          let pool = W.Methods.etree_pool_reactive ~procs () in
+          captured := Some pool;
+          pool)
+    in
+    let pool = Option.get !captured in
+    (p, (Option.get pool.W.Pool_obj.adapt_by_level) ())
+  in
+  let pa, sa = go () and pb, sb = go () in
+  check_int "ops replay" pa.W.Produce_consume.ops pb.W.Produce_consume.ops;
+  check_bool "engine op counters replay" true
+    (pa.W.Produce_consume.mem = pb.W.Produce_consume.mem);
+  check_bool "adapted state replays" true (sa = sb);
+  (* The adaptation must actually have moved something at this load —
+     otherwise the differential test above is vacuous. *)
+  check_bool "controller moved off the static tuning" true
+    (List.exists
+       (List.exists (fun (spin, _) -> spin <> 64 && spin <> 32 && spin <> 16
+                                      && spin <> 8 && spin <> 4))
+       sa)
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "windows",
+        [
+          Alcotest.test_case "take_window deltas" `Quick
+            test_take_window_deltas;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "MIMD rule + hysteresis" `Quick
+            test_controller_mimd;
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_controller_deterministic;
+          QCheck_alcotest.to_alcotest prop_controller_clamped;
+        ] );
+      ( "safety",
+        [
+          QCheck_alcotest.to_alcotest prop_reactive_pool_safety;
+          QCheck_alcotest.to_alcotest prop_reactive_gap_step;
+          QCheck_alcotest.to_alcotest prop_reactive_pool_conservation;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "clamped reactive == static (byte-identical)"
+            `Quick test_clamped_reactive_byte_identical;
+          Alcotest.test_case "reactive replay is deterministic" `Quick
+            test_reactive_replay_deterministic;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+(* Bench-shape regression tests: the harness's headline claims,
+   asserted over the machine-readable BENCH_*.json round trip so a
+   regression in either the structures or the report plumbing fails
+   [dune runtest].
+
+   - fig7 shape: at high load (workload 0, many processors) the
+     elimination tree out-throughputs the original diffracting tree
+     (the paper's central claim, Figure 7).
+   - adapt shape (EXPERIMENTS.md A1): the reactive tree stays within
+     5% of the best hand-tuned static schedule at saturation AND beats
+     every static schedule's latency at the lowest load point.
+
+   The points are generated in-process at a reduced scale (the same
+   sweep code the bench harness calls), serialized with the harness's
+   field names through Report.write_json, re-read with the hand-rolled
+   Etrace.Json parser, and the claims are evaluated on the re-parsed
+   values — the same path CI consumers of BENCH_adapt.json take. *)
+
+module W = Workloads
+module R = W.Report
+module J = Etrace.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let procs = 256
+let horizon = 20_000
+
+let write_and_parse ~experiment points =
+  let file = Filename.temp_file ("bench_" ^ experiment) ".json" in
+  R.write_json ~file
+    (R.Obj [ ("experiment", R.Str experiment); ("points", R.Arr points) ]);
+  let v =
+    match J.parse_file file with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "re-parsing %s: %s" file e
+  in
+  Sys.remove file;
+  check_bool "experiment tag round-trips" true
+    (Option.bind (J.member "experiment" v) J.to_str = Some experiment);
+  Option.get (Option.bind (J.member "points" v) J.to_list)
+
+let field_int p name = Option.get (Option.bind (J.member name p) J.to_int)
+let field_num p name = Option.get (Option.bind (J.member name p) J.to_num)
+let field_str p name = Option.get (Option.bind (J.member name p) J.to_str)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: elimination >= diffraction at high load                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig7_shape () =
+  let point make =
+    let p = W.Produce_consume.run ~seed:3 ~horizon ~workload:0 ~procs make in
+    R.Obj
+      [
+        ("method", R.Str (make ~procs).W.Pool_obj.name);
+        ("workload", R.Int 0);
+        ("procs", R.Int p.W.Produce_consume.procs);
+        ("throughput_per_m", R.Int p.W.Produce_consume.throughput_per_m);
+        ("latency", R.Float p.W.Produce_consume.latency);
+      ]
+  in
+  let points =
+    write_and_parse ~experiment:"fig7"
+      [
+        point (fun ~procs -> W.Methods.etree_pool ~procs ());
+        point (fun ~procs -> W.Methods.dtree_pool ~procs ());
+      ]
+  in
+  check_int "two points" 2 (List.length points);
+  let tput prefix =
+    match
+      List.find_opt
+        (fun p ->
+          String.length (field_str p "method") >= String.length prefix
+          && String.sub (field_str p "method") 0 (String.length prefix)
+             = prefix)
+        points
+    with
+    | Some p -> field_int p "throughput_per_m"
+    | None -> Alcotest.failf "no %s point in the re-parsed report" prefix
+  in
+  let etree = tput "Etree" and dtree = tput "Dtree" in
+  check_bool
+    (Printf.sprintf
+       "elimination (%d) >= diffraction (%d) at workload 0, %d procs" etree
+       dtree procs)
+    true (etree >= dtree)
+
+(* ------------------------------------------------------------------ *)
+(* A1: the adaptive crossover                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_adapt_shape () =
+  let specs = W.Adapt_sweep.methods () in
+  let series =
+    W.Adapt_sweep.sweep ~seed:3 ~horizon ~workloads:[ 0; 16_000 ] ~procs specs
+  in
+  let flat = List.concat series in
+  (* Serialize with the bench harness's field names... *)
+  let points =
+    write_and_parse ~experiment:"adapt"
+      (List.map
+         (fun (p : W.Adapt_sweep.point) ->
+           R.Obj
+             [
+               ("method", R.Str p.method_name);
+               ("reactive", R.Bool p.reactive);
+               ("workload", R.Int p.workload);
+               ("procs", R.Int p.procs);
+               ("throughput_per_m", R.Int p.throughput_per_m);
+               ("latency", R.Float p.latency);
+             ])
+         flat)
+  in
+  check_int "every sweep point round-trips" (List.length flat)
+    (List.length points);
+  (* ...and evaluate the shape claims on the RE-PARSED values only. *)
+  let dummy_lat = Etrace.Histogram.(summary (create ())) in
+  let reparsed =
+    List.map
+      (fun p ->
+        {
+          W.Adapt_sweep.method_name = field_str p "method";
+          reactive =
+            Option.get (Option.bind (J.member "reactive" p) J.to_bool);
+          workload = field_int p "workload";
+          procs = field_int p "procs";
+          throughput_per_m = field_int p "throughput_per_m";
+          latency = field_num p "latency";
+          lat = dummy_lat;
+          elim_rate = None;
+          final_adapt = None;
+        })
+      points
+  in
+  check_bool
+    "reactive within 5% of the best static schedule at saturation (W=0)" true
+    (W.Adapt_sweep.saturation_ok reparsed);
+  check_bool
+    "reactive latency strictly below every static schedule at lowest load"
+    true
+    (W.Adapt_sweep.low_load_ok reparsed)
+
+let () =
+  Alcotest.run "bench_shapes"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "fig7: elimination >= diffraction" `Quick
+            test_fig7_shape;
+          Alcotest.test_case "A1: adaptive crossover" `Quick test_adapt_shape;
+        ] );
+    ]

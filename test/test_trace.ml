@@ -276,13 +276,15 @@ let prop_attribution_balances =
 (* Elim_stats.merge provenance (per-layer views of live records)       *)
 (* ------------------------------------------------------------------ *)
 
-let drive procs =
+let drive ?(policy = `Static) procs =
   let tree = ref None in
   ignore
     (Sim.run ~seed:9 ~procs ~abort_after:100_000_000 (fun p ->
          (if p = 0 then
             tree :=
-              Some (Tree.create ~capacity:procs (Core.Tree_config.etree 8)));
+              Some
+                (Tree.create ~capacity:procs
+                   (Core.Tree_config.etree ~policy 8)));
          E.delay (E.random_int 60);
          let t : unit Tree.t = Option.get !tree in
          let kind : Core.Location.kind =
@@ -331,6 +333,62 @@ let test_merge_provenance () =
         (Stats.entries (Stats.merge (List.hd per_level))))
     [ 2; 8; 32 ]
 
+(* The windowed read path (Elim_stats.take_window, consumed by the
+   adaptive controllers mid-run) is cursor-based over the same monotone
+   counters merge reads — so concurrent traversals interleaved with
+   window reads must never double-count: cumulative merges are
+   identical before and after draining every pending window, windows
+   are bounded by the cumulative counters, and a drained record yields
+   an all-zero window. *)
+let test_windowed_reads_no_double_count () =
+  let policy =
+    `Reactive { Adapt.default with Adapt.period = 4 }
+  in
+  List.iter
+    (fun procs ->
+      let tree = drive ~policy procs in
+      let per_level = Tree.balancer_stats_by_level tree in
+      let all = List.concat per_level in
+      let before = Stats.merge all in
+      check_int
+        (Printf.sprintf "%d procs: root saw every request" procs)
+        procs
+        (Stats.entries (Stats.merge (List.hd per_level)));
+      let windows = List.map Stats.take_window all in
+      List.iter2
+        (fun (s : Stats.t) (w : Stats.window) ->
+          check_bool
+            (Printf.sprintf "%d procs: window bounded by counters" procs)
+            true
+            (w.Stats.w_entries <= Stats.entries s
+            && w.Stats.w_hits <= s.Stats.eliminated + s.Stats.diffracted
+            && w.Stats.w_misses <= s.Stats.misses
+            && w.Stats.w_toggled <= s.Stats.toggled))
+        all windows;
+      let after = Stats.merge all in
+      check_int
+        (Printf.sprintf "%d procs: merge entries unchanged by drain" procs)
+        (Stats.entries before) (Stats.entries after);
+      check_int
+        (Printf.sprintf "%d procs: merge eliminated unchanged" procs)
+        before.Stats.eliminated after.Stats.eliminated;
+      check_int
+        (Printf.sprintf "%d procs: merge misses unchanged" procs)
+        before.Stats.misses after.Stats.misses;
+      check_int
+        (Printf.sprintf "%d procs: merge toggled unchanged" procs)
+        before.Stats.toggled after.Stats.toggled;
+      List.iter
+        (fun s ->
+          let w = Stats.take_window s in
+          check_int
+            (Printf.sprintf "%d procs: drained record reads zero" procs)
+            0
+            (w.Stats.w_entries + w.Stats.w_hits + w.Stats.w_misses
+           + w.Stats.w_toggled))
+        all)
+    [ 2; 8; 32 ]
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -364,5 +422,7 @@ let () =
         [
           Alcotest.test_case "merge provenance at 2/8/32 procs" `Quick
             test_merge_provenance;
+          Alcotest.test_case "windowed reads never double-count" `Quick
+            test_windowed_reads_no_double_count;
         ] );
     ]

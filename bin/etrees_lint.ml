@@ -1,17 +1,24 @@
 (* CLI driver for the effect-discipline lint.
 
      dune build @lint
-     dune exec bin/etrees_lint.exe -- [--allowlist FILE] PATH...
+     dune exec bin/etrees_lint.exe -- [--allowlist FILE] [--json FILE] PATH...
 
    Each PATH is an .ml file or a directory scanned recursively for .ml
    files.  Output is one machine-readable line per violation
    (file:line:col: [rule] message), globally sorted by (file, line,
    col, rule) and deduplicated — overlapping PATH arguments and
    repeated files cannot change the report, so diffs against a golden
-   run are stable.  Exit status 1 if any violation survives the
-   allowlist, 2 on parse/usage errors. *)
+   run are stable.  [--json FILE] additionally writes the whole run as
+   one JSON object ([-] for stdout) for the CI artifact.
 
-let usage = "etrees_lint [--allowlist FILE] PATH..."
+   Stale allowlist entries — ones matching no current violation — are
+   hard errors: an exception that outlives its violation is a hole the
+   next regression walks through unnoticed, so the allowlist must
+   shrink in the same change that fixes the code.  Exit status 1 if
+   any violation survives the allowlist or any entry is stale, 2 on
+   parse/usage errors. *)
+
+let usage = "etrees_lint [--allowlist FILE] [--json FILE] PATH..."
 
 let rec ml_files_under path =
   if Sys.is_directory path then
@@ -22,12 +29,16 @@ let rec ml_files_under path =
 
 let () =
   let allowlist_file = ref None in
+  let json_file = ref None in
   let paths = ref [] in
   Arg.parse
     [
       ( "--allowlist",
         Arg.String (fun f -> allowlist_file := Some f),
         "FILE Allowlist of deliberate exceptions (path rule pairs)" );
+      ( "--json",
+        Arg.String (fun f -> json_file := Some f),
+        "FILE Also write the report as one JSON object (- for stdout)" );
     ]
     (fun p -> paths := p :: !paths)
     usage;
@@ -62,13 +73,29 @@ let () =
       kept;
     List.iter
       (fun (a : Analysis.Lint_rules.allow) ->
-        Printf.eprintf "note: unused allowlist entry: %s %s\n" a.path
+        Printf.eprintf "error: stale allowlist entry: %s %s\n" a.path
           (Analysis.Lint_rules.rule_name a.allowed))
       unused;
+    (match !json_file with
+    | None -> ()
+    | Some f ->
+        let json =
+          Analysis.Lint_rules.report_json ~files:(List.length files) ~kept
+            ~suppressed ~unused
+        in
+        if f = "-" then print_string json
+        else begin
+          let oc = open_out f in
+          output_string oc json;
+          close_out oc
+        end);
     Printf.eprintf
-      "etrees_lint: %d file(s), %d violation(s), %d allowlisted\n"
-      (List.length files) (List.length kept) (List.length suppressed);
-    exit (if kept = [] then 0 else 1)
+      "etrees_lint: %d file(s), %d violation(s), %d allowlisted, %d stale \
+       allowlist entr%s\n"
+      (List.length files) (List.length kept) (List.length suppressed)
+      (List.length unused)
+      (if List.length unused = 1 then "y" else "ies");
+    exit (if kept = [] && unused = [] then 0 else 1)
   with
   | Analysis.Lint_rules.Parse_error msg ->
       prerr_endline msg;

@@ -688,6 +688,151 @@ let check_cmd =
       $ max_interleavings_t $ max_steps_t $ dpor_t $ expect_t $ schedule_t
       $ trace_out_t $ seed_t)
 
+(* netverify: static certification of every shipped network shape
+   (docs/NETVERIFY.md). *)
+let netverify_cmd =
+  let module NB = Check.Netverify_bridge in
+  let module Certify = Netverify.Certify in
+  let list_t =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the shipped shapes and exit.")
+  in
+  let shape_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "shape" ]
+          ~doc:"Certify only this shape (repeatable; see $(b,--list)).")
+  in
+  let seeded_t =
+    Arg.(
+      value & flag
+      & info [ "seeded-defect" ]
+          ~doc:
+            "Teeth check: certify the deliberately broken tree (the \
+             skip-toggle-on-miss defect of the tree_buggy model-checking \
+             scenario), succeed only if the certifier rejects it with a \
+             counterexample that the model checker's replay reproduces.")
+  in
+  let verbose_t =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print the full pass-by-pass report for every shape.")
+  in
+  let cex_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "counterexample-out" ]
+          ~doc:
+            "Write the reports of rejected shapes (with replay commands \
+             where available) to this file.")
+  in
+  let run list shapes seeded verbose cex_out =
+    if list then begin
+      List.iter print_endline NB.names;
+      exit 0
+    end;
+    let out = Buffer.create 256 in
+    let finish code =
+      (match cex_out with
+      | Some file when Buffer.length out > 0 ->
+          let oc = open_out file in
+          output_string oc (Buffer.contents out);
+          close_out oc;
+          Printf.printf "wrote counterexample report to %s\n" file
+      | _ -> ());
+      exit code
+    in
+    if seeded then begin
+      let net = NB.seeded_defect () in
+      let report = Certify.verify net in
+      print_string (Certify.format_report report);
+      let cex =
+        List.find_map
+          (fun (f : Certify.failure) ->
+            if f.pass = "step-certify" then f.cex else None)
+          report.failures
+      in
+      match cex with
+      | None ->
+          Printf.eprintf
+            "netverify: seeded defect NOT detected — the gate has no teeth\n";
+          finish 1
+      | Some cex -> begin
+          let cmd = NB.replay_command ~width:NB.seeded_defect_width cex in
+          Printf.printf "  replay: %s\n" cmd;
+          Buffer.add_string out (Certify.format_report report);
+          Buffer.add_string out (Printf.sprintf "  replay: %s\n" cmd);
+          match NB.confirm_replay ~width:NB.seeded_defect_width cex with
+          | Some v ->
+              Printf.printf
+                "  replay confirmed dynamically (%s): %s\n" v.Check.Monitor.property
+                v.Check.Monitor.detail;
+              Printf.printf
+                "seeded defect detected statically and confirmed by replay\n";
+              finish 0
+          | None ->
+              Printf.eprintf
+                "netverify: static counterexample not reproduced by replay\n";
+              finish 1
+        end
+    end
+    else begin
+      let selected =
+        match shapes with
+        | [] -> NB.shapes
+        | names ->
+            List.map
+              (fun n ->
+                match NB.find n with
+                | Some s -> s
+                | None ->
+                    Printf.eprintf
+                      "netverify: unknown shape %S (try --list)\n" n;
+                    exit 2)
+              names
+      in
+      let failed =
+        List.filter
+          (fun (s : NB.shape) ->
+            let report = Certify.verify (s.build ()) in
+            if Certify.ok report then begin
+              if verbose then print_string (Certify.format_report report)
+              else
+                Printf.printf "ok %s: %d passes\n" s.shape_name
+                  (List.length report.passed);
+              false
+            end
+            else begin
+              print_string (Certify.format_report report);
+              Buffer.add_string out (Certify.format_report report);
+              true
+            end)
+          selected
+      in
+      if failed = [] then begin
+        Printf.printf "netverify: %d shape(s) certified\n" (List.length selected);
+        finish 0
+      end
+      else begin
+        Printf.eprintf "netverify: %d of %d shape(s) rejected\n"
+          (List.length failed) (List.length selected);
+        finish 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "netverify"
+       ~doc:
+         "Statically certify every shipped network shape over the wiring \
+          IR: well-formedness, conservation accounting, depth bounds, \
+          output numbering, and the quiescent step property by exhaustive \
+          toggle-state enumeration; counterexamples replay through \
+          $(b,etrees_run check).")
+    Term.(const run $ list_t $ shape_t $ seeded_t $ verbose_t $ cex_out_t)
+
 let () =
   let doc = "Elimination-tree experiments on the multiprocessor simulator." in
   let info = Cmd.info "etrees_run" ~version:"1.0.0" ~doc in
@@ -703,4 +848,5 @@ let () =
             chaos_cmd;
             trace_cmd;
             check_cmd;
+            netverify_cmd;
           ]))

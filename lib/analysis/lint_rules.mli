@@ -49,3 +49,14 @@ val format_violation : violation -> string
 
 val report : violation list -> string
 (** All violations, one {!format_violation} line each. *)
+
+val report_json :
+  files:int ->
+  kept:violation list ->
+  suppressed:violation list ->
+  unused:allow list ->
+  string
+(** The whole lint run as one JSON object:
+    [{"files": n, "violations": [{"file","line","col","rule","message"}],
+    "allowlisted": n, "stale_allowlist": [{"path","rule"}]}].
+    Uploaded as a CI artifact alongside the bench jsons. *)

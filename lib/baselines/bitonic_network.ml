@@ -20,11 +20,26 @@
    periodic wiring.
 
    A balancer's two outputs stay on its two physical wires (first input
-   wire = top output).  We generate the layer-by-layer wiring over
-   physical wire ids and keep the logical output order alongside
-   (identity for Periodic), then hang a local counter (value sequence
-   i, i+w, ...) on logical output i.  The networks' step property makes
-   the assembly an exact quiescently-consistent fetch&increment. *)
+   wire = top output).  The wiring itself comes from the netverify IR
+   ({!ir}): [Netverify.Ir.counting_plan] turns the canonical network
+   value into per-layer (top, bottom) physical-wire pairs plus the
+   logical output order (merger order for Bitonic, identity for
+   Periodic), and we hang a local counter (value sequence i, i+w, ...)
+   on logical output i.  The networks' step property makes the
+   assembly an exact quiescently-consistent fetch&increment. *)
+
+let is_power_of_two w = w > 0 && w land (w - 1) = 0
+
+let ir ?(kind = `Bitonic) ~width () =
+  if not (is_power_of_two width) then
+    invalid_arg "Bitonic_network.create: width must be a power of two";
+  let net =
+    match kind with
+    | `Bitonic -> Netverify.Ir.bitonic ~width
+    | `Periodic -> Netverify.Ir.periodic ~width
+  in
+  Netverify.Passes.assert_well_formed ~what:"Bitonic_network.ir" net;
+  net
 
 module Make (E : Engine.S) = struct
   type layer = {
@@ -40,86 +55,13 @@ module Make (E : Engine.S) = struct
     slots : int E.cell array; (* logical output -> local counter *)
   }
 
-  (* Wiring generation over lists of physical wire ids.  Each layer is
-     a list of (top_wire, bottom_wire) pairs; parallel sub-networks are
-     zipped layerwise (they always have equal depth by symmetry). *)
-  let split_even_odd ws =
-    let rec go evens odds i = function
-      | [] -> (List.rev evens, List.rev odds)
-      | w :: rest ->
-          if i land 1 = 0 then go (w :: evens) odds (i + 1) rest
-          else go evens (w :: odds) (i + 1) rest
-    in
-    go [] [] 0 ws
-
-  let rec interleave a b =
-    match (a, b) with
-    | [], [] -> []
-    | x :: a, y :: b -> x :: y :: interleave a b
-    | _ -> invalid_arg "interleave"
-
-  let parallel_concat la lb =
-    if List.length la <> List.length lb then
-      invalid_arg "bitonic: sub-network depth mismatch";
-    List.map2 ( @ ) la lb
-
-  let rec merger xs ys =
-    match (xs, ys) with
-    | [ x ], [ y ] -> ([ [ (x, y) ] ], [ x; y ])
-    | _ ->
-        let xe, xo = split_even_odd xs in
-        let ye, yo = split_even_odd ys in
-        let layers_a, za = merger xe yo in
-        let layers_b, zb = merger xo ye in
-        let final = List.map2 (fun a b -> (a, b)) za zb in
-        (parallel_concat layers_a layers_b @ [ final ], interleave za zb)
-
-  let rec bitonic ws =
-    match ws with
-    | [ _ ] -> ([], ws)
-    | _ ->
-        let n = List.length ws in
-        let h1 = List.filteri (fun i _ -> i < n / 2) ws in
-        let h2 = List.filteri (fun i _ -> i >= n / 2) ws in
-        let l1, z1 = bitonic h1 in
-        let l2, z2 = bitonic h2 in
-        let lm, z = merger z1 z2 in
-        (parallel_concat l1 l2 @ lm, z)
-
-  (* Periodic[w]: log w repetitions of the Block[w] network of the
-     Dowd-Perl-Rudolph-Saks balanced sorter, as used by AHS.  Block
-     layer l splits the wires into chunks of size w >> l and pairs the
-     mirror images within each chunk (i with chunk_size-1-i); outputs
-     in natural wire order. *)
-  let periodic width =
-    let log2 =
-      let rec go acc w = if w <= 1 then acc else go (acc + 1) (w / 2) in
-      go 0 width
-    in
-    let block =
-      List.init log2 (fun l ->
-          let chunk = width lsr l in
-          List.concat
-            (List.init (width / chunk) (fun c ->
-                 let base = c * chunk in
-                 List.init (chunk / 2) (fun i ->
-                     (base + i, base + chunk - 1 - i)))))
-    in
-    let layers = List.concat (List.init log2 (fun _ -> block)) in
-    (layers, List.init width Fun.id)
-
-  let is_power_of_two w = w > 0 && w land (w - 1) = 0
-
   let create ?(kind = `Bitonic) ?(initial = 0) ~width () =
-    if not (is_power_of_two width) then
-      invalid_arg "Bitonic_network.create: width must be a power of two";
-    let pair_layers, order =
-      match kind with
-      | `Bitonic -> bitonic (List.init width Fun.id)
-      | `Periodic -> periodic width
-    in
+    (* Build (and statically validate) the wiring IR, then instantiate
+       the per-layer toggles from its plan. *)
+    let net = ir ~kind ~width () in
+    let pair_layers, position = Netverify.Ir.counting_plan net in
     let layers =
-      List.map
+      Array.map
         (fun pairs ->
           let partner = Array.make width (-1) in
           let is_top = Array.make width false in
@@ -132,10 +74,7 @@ module Make (E : Engine.S) = struct
             pairs;
           { partner; is_top; state })
         pair_layers
-      |> Array.of_list
     in
-    let position = Array.make width (-1) in
-    List.iteri (fun logical wire -> position.(wire) <- logical) order;
     {
       width;
       layers;

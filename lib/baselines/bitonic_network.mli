@@ -4,7 +4,17 @@
     [`Periodic] ([log w] identical butterfly blocks, same depth).
     Bare-CAS toggle balancers, no prisms; local counters on the logical
     outputs make either an exact fetch&increment with the step property
-    in quiescent states. *)
+    in quiescent states.
+
+    Construction goes through the wiring IR: {!ir} is the single source
+    of truth for the wiring and {!Make.create} instantiates the
+    per-layer toggles from its plan. *)
+
+val ir :
+  ?kind:[ `Bitonic | `Periodic ] -> width:int -> unit -> Netverify.Ir.network
+(** The canonical wiring IR (validated by the netverify
+    well-formedness pass).  Raises [Invalid_argument] when [width] is
+    not a power of two. *)
 
 module Make (E : Engine.S) : sig
   type t

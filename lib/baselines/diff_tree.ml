@@ -13,6 +13,20 @@
    new multi-layered-prism balancer evaluated in the counting benchmark
    of §2.5.2 (Fig. 9, "Dtree-32+MulPri"). *)
 
+let config_of_prisms prisms width =
+  match prisms with
+  | `Single_prism -> Core.Tree_config.dtree width
+  | `Multi_prism -> Core.Tree_config.dtree_multiprism width
+
+let ir ?(prisms = `Single_prism) ~width () =
+  let name =
+    Printf.sprintf "dtree-%d%s" width
+      (match prisms with `Single_prism -> "" | `Multi_prism -> "-multiprism")
+  in
+  Core.Elim_tree.ir ~mode:`Stack ~eliminate:false ~leaf_order:`Interleaved
+    ~name
+    (config_of_prisms prisms width)
+
 module Make (E : Engine.S) = struct
   module Tree = Core.Elim_tree.Make (E)
 
@@ -23,11 +37,7 @@ module Make (E : Engine.S) = struct
   }
 
   let create ?(prisms = `Single_prism) ?(initial = 0) ~capacity ~width () =
-    let config =
-      match prisms with
-      | `Single_prism -> Core.Tree_config.dtree width
-      | `Multi_prism -> Core.Tree_config.dtree_multiprism width
-    in
+    let config = config_of_prisms prisms width in
     let tree =
       Tree.create ~mode:`Stack ~eliminate:false ~leaf_order:`Interleaved
         ~capacity config

@@ -6,6 +6,15 @@
     construction with the optimized parameters of [24]; [`Multi_prism]
     is this paper's multi-layered-prism balancer (§2.5.2, Fig. 9). *)
 
+val ir :
+  ?prisms:[ `Single_prism | `Multi_prism ] ->
+  width:int ->
+  unit ->
+  Netverify.Ir.network
+(** The wiring IR of the diffracting-tree counter (named
+    ["dtree-<width>"] / ["dtree-<width>-multiprism"]) — the shape
+    {!Make.create} instantiates. *)
+
 module Make (E : Engine.S) : sig
   type t
 

@@ -13,7 +13,38 @@
      reading the wire choices as bits from the root (LSB) down.
 
    A traversal shepherds one token or anti-token from the root to either
-   a leaf index or an elimination. *)
+   a leaf index or an elimination.
+
+   Construction goes through the wiring IR: {!ir} lowers a
+   [Tree_config.t] to a [Netverify.Ir.network] — the single source of
+   truth for the tree's shape, statically checkable by the netverify
+   passes — and {!Make.create} instantiates its balancers and leaf
+   numbering from that value rather than from ad-hoc index
+   arithmetic. *)
+
+let ir ?(mode = `Pool) ?(eliminate = true) ?(leaf_order = `Natural) ?bug
+    ?name (config : Tree_config.t) =
+  let config = Tree_config.validate config in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "etree-%s-%d"
+          (match mode with `Pool -> "pool" | `Stack -> "stack")
+          config.width
+  in
+  let levels =
+    Array.to_list
+      (Array.map
+         (fun (l : Tree_config.level) -> (l.prism_widths, l.spin))
+         config.levels)
+  in
+  let net =
+    Netverify.Ir.elim_tree ~name ~mode ~eliminate ~leaf_order ?bug ~levels
+      ~width:config.width ()
+  in
+  Netverify.Passes.assert_well_formed ~what:"Elim_tree.ir" net;
+  net
 
 module Make (E : Engine.S) = struct
   module Balancer = Elim_balancer.Make (E)
@@ -23,7 +54,7 @@ module Make (E : Engine.S) = struct
   type 'v t = {
     width : int;
     depth : int;
-    leaf_order : [ `Natural | `Interleaved ];
+    leaf_index : int array; (* natural leaf position -> logical output *)
     balancers : 'v Balancer.t array; (* heap order; width-1 of them *)
     location : 'v Balancer.location;
   }
@@ -51,20 +82,27 @@ module Make (E : Engine.S) = struct
               (raise ~capacity)"
              capacity nprocs)
     | _ -> ());
-    let width = config.width in
+    (* Lower the configuration to the wiring IR (validated by the
+       netverify well-formedness pass) and instantiate the runtime
+       balancers and leaf numbering from its plan. *)
+    let net = ir ~mode ~eliminate ~leaf_order ?bug config in
+    let attrs, leaf_index = Netverify.Ir.tree_plan net in
+    let width = net.Netverify.Ir.width in
     let location = Balancer.make_location ~capacity in
     let balancers =
-      Array.init (width - 1) (fun i ->
-          let depth = depth_of_index i in
-          let level = config.levels.(depth) in
-          Balancer.create ~mode ~eliminate ~depth ?bug
-            ~policy:config.policy ~id:i ~prism_widths:level.prism_widths
-            ~spin:level.spin ~location ())
+      Array.init (Array.length attrs) (fun i ->
+          match attrs.(i) with
+          | Netverify.Ir.Elim { mode; eliminate; prism_widths; spin; bug } ->
+              Balancer.create ~mode ~eliminate ~depth:(depth_of_index i) ?bug
+                ~policy:config.policy ~id:i ~prism_widths ~spin ~location ()
+          | Netverify.Ir.Toggle ->
+              (* The tree builder never emits toggle balancers. *)
+              assert false)
     in
     {
       width;
       depth = Tree_config.depth_of_width width;
-      leaf_order;
+      leaf_index;
       balancers;
       location;
     }
@@ -87,20 +125,19 @@ module Make (E : Engine.S) = struct
     let result =
       if t.width = 1 then Leaf 0
       else begin
-        let rec go idx depth acc =
+        (* Accumulate the natural (left-to-right) leaf position; the
+           IR-derived [leaf_index] carries the `Natural/`Interleaved
+           numbering. *)
+        let rec go idx acc =
           match Balancer.traverse t.balancers.(idx) ~kind ~value with
           | Location.Eliminated v -> Eliminated v
           | Location.Exit wire ->
-              let acc =
-                match t.leaf_order with
-                | `Natural -> (acc lsl 1) lor wire
-                | `Interleaved -> acc lor (wire lsl depth)
-              in
+              let acc = (acc lsl 1) lor wire in
               let child = (2 * idx) + 1 + wire in
-              if child >= t.width - 1 then Leaf acc
-              else go child (depth + 1) acc
+              if child >= t.width - 1 then Leaf t.leaf_index.(acc)
+              else go child acc
         in
-        go 0 0 0
+        go 0 0
       end
     in
     if Etrace.on Etrace.lv_ops then

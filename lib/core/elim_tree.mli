@@ -4,7 +4,24 @@
     Balancers are stored in heap order; the [w] outputs are numbered
     [`Natural] (left-to-right, for the pool) or [`Interleaved]
     (counting-tree order: the wire-0 subtree yields the even outputs —
-    required by [IncDecCounter[w]] and the stack-like pool). *)
+    required by [IncDecCounter[w]] and the stack-like pool).
+
+    All construction goes through the wiring IR: {!ir} is the single
+    source of truth for the tree's shape, and {!Make.create}
+    instantiates balancers and leaf numbering from it. *)
+
+val ir :
+  ?mode:[ `Pool | `Stack ] ->
+  ?eliminate:bool ->
+  ?leaf_order:[ `Natural | `Interleaved ] ->
+  ?bug:[ `Skip_toggle_on_miss ] ->
+  ?name:string ->
+  Tree_config.t ->
+  Netverify.Ir.network
+(** Lower a tree configuration to its wiring IR (default name
+    ["etree-<mode>-<width>"]), validated by the netverify
+    well-formedness pass — raises [Invalid_argument] with a coded
+    diagnostic on a malformed shape. *)
 
 module Make (E : Engine.S) : sig
   module Balancer : module type of Elim_balancer.Make (E)

@@ -1,0 +1,17 @@
+(* etrees.netverify: the static balancing-network certifier.
+
+   - {!Ir}: the wiring IR (balancers as nodes, wires as edges, layered
+     DAG) and the canonical builders for every network family the repo
+     ships: elimination/diffracting trees, Bitonic[w], Periodic[w].
+   - {!Passes}: structural verification — well-formedness,
+     conservation accounting, depth bounds.
+   - {!Certify}: semantic verification — output numbering and the
+     exhaustive quiescent-state step-property certification, with
+     concrete token-sequence counterexamples on failure.
+
+   See docs/NETVERIFY.md for the verification strategy and its
+   exactness boundaries. *)
+
+module Ir = Ir
+module Passes = Passes
+module Certify = Certify

@@ -1,0 +1,230 @@
+(* Structural verification over the wiring IR.
+
+   Three passes, each returning either a one-line certificate summary
+   or a list of coded errors:
+
+   - {!well_formed}: power-of-two width, node arities, dense unique
+     ids, every wire written exactly once (network input or node
+     output) and read exactly once (node input or network output),
+     strict layering (every in-wire of a layer-d node leaves layer
+     d-1), prism/spin sanity.  Acyclicity follows: a strictly layered
+     graph has no cycles.
+   - {!conservation}: the in/out-degree accounting that makes token
+     conservation structural — each balancer's out-degree minus
+     in-degree, summed, must equal network outputs minus inputs, and
+     the wire census must balance writers against readers.
+   - {!depth_bounds}: the paper's depth claims — log w for trees,
+     log w (log w + 1)/2 for Bitonic[w], (log w)^2 for Periodic[w] —
+     plus uniformity (every input-to-output path has that length).
+
+   {!assert_well_formed} adapts the first pass into the unified
+   [Invalid_argument] diagnostics the runtime constructors raise. *)
+
+type error = { code : string; detail : string }
+
+let errf code fmt = Printf.ksprintf (fun detail -> { code; detail }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let expected_io (net : Ir.network) =
+  match net.kind with
+  | Ir.Tree _ -> (1, net.width)
+  | Ir.Counting _ -> (net.width, net.width)
+
+let node_arity = function
+  | Ir.Toggle -> (2, 2)
+  | Ir.Elim _ -> (1, 2)
+
+let well_formed (net : Ir.network) : (string, error list) result =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  if not (Ir.is_power_of_two net.width) then
+    err (errf "width" "width %d is not a power of two" net.width);
+  let nin, nout = expected_io net in
+  if Array.length net.inputs <> nin then
+    err (errf "arity" "%d network inputs, expected %d" (Array.length net.inputs) nin);
+  if Array.length net.outputs <> nout then
+    err
+      (errf "arity" "%d network outputs, expected %d" (Array.length net.outputs)
+         nout);
+  (* Unique node ids. *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (n : Ir.node) ->
+      if Hashtbl.mem seen n.id then
+        err (errf "node-id" "duplicate node id %d" n.id)
+      else Hashtbl.add seen n.id ())
+    net.nodes;
+  (* Node arities and attribute sanity. *)
+  Array.iter
+    (fun (n : Ir.node) ->
+      let ni, no = node_arity n.attrs in
+      if Array.length n.ins <> ni || Array.length n.outs <> no then
+        err
+          (errf "node-arity" "node %d has %d-in/%d-out, expected %d-in/%d-out"
+             n.id (Array.length n.ins) (Array.length n.outs) ni no);
+      if n.layer < 0 then err (errf "layering" "node %d has negative layer" n.id);
+      match n.attrs with
+      | Ir.Toggle -> ()
+      | Ir.Elim { prism_widths; spin; _ } ->
+          if prism_widths = [] then
+            err (errf "prism" "node %d has no prism layers" n.id);
+          List.iter
+            (fun w ->
+              if w < 1 then err (errf "prism" "node %d has prism width %d" n.id w))
+            prism_widths;
+          if spin < 0 then err (errf "prism" "node %d has negative spin" n.id))
+    net.nodes;
+  (* Wire census: every wire written once and read once. *)
+  let writers = Array.make net.nwires 0 in
+  let readers = Array.make net.nwires 0 in
+  let touch what counts w =
+    if w < 0 || w >= net.nwires then
+      err (errf "wire-range" "%s references wire %d outside [0,%d)" what w net.nwires)
+    else counts.(w) <- counts.(w) + 1
+  in
+  Array.iter (fun w -> touch "network input" writers w) net.inputs;
+  Array.iter (fun w -> touch "network output" readers w) net.outputs;
+  Array.iter
+    (fun (n : Ir.node) ->
+      let what = Printf.sprintf "node %d" n.id in
+      Array.iter (fun w -> touch what readers w) n.ins;
+      Array.iter (fun w -> touch what writers w) n.outs)
+    net.nodes;
+  Array.iteri
+    (fun w c ->
+      if c = 0 then err (errf "wire-unwritten" "wire %d has no writer" w)
+      else if c > 1 then err (errf "wire-multi-writer" "wire %d has %d writers" w c))
+    writers;
+  Array.iteri
+    (fun w c ->
+      if c = 0 then err (errf "wire-unread" "wire %d has no reader" w)
+      else if c > 1 then err (errf "wire-multi-reader" "wire %d has %d readers" w c))
+    readers;
+  (* Strict layering (hence acyclicity): the producer of every in-wire
+     of a layer-d node sits at layer d-1 (or the wire is a network
+     input and d = 0).  Only meaningful once the census is clean. *)
+  if !errs = [] then begin
+    let depth = Array.make net.nwires (-1) in
+    Array.iter (fun w -> depth.(w) <- 0) net.inputs;
+    let nodes = Array.copy net.nodes in
+    Array.sort (fun (a : Ir.node) b -> compare a.layer b.layer) nodes;
+    Array.iter
+      (fun (n : Ir.node) ->
+        Array.iter
+          (fun w ->
+            if depth.(w) <> n.layer then
+              err
+                (errf "layering"
+                   "node %d at layer %d consumes wire %d at depth %d" n.id
+                   n.layer w depth.(w)))
+          n.ins;
+        Array.iter (fun w -> depth.(w) <- n.layer + 1) n.outs)
+      nodes
+  end;
+  match List.rev !errs with
+  | [] ->
+      Ok
+        (Printf.sprintf
+           "%d wires single-writer/single-reader, %d balancers strictly \
+            layered, width %d"
+           net.nwires (Array.length net.nodes) net.width)
+  | errs -> Error errs
+
+(* ------------------------------------------------------------------ *)
+(* Conservation accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let conservation (net : Ir.network) : (string, error list) result =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  let sum f = Array.fold_left (fun acc n -> acc + f n) 0 net.nodes in
+  let total_outs = sum (fun (n : Ir.node) -> Array.length n.outs) in
+  let total_ins = sum (fun (n : Ir.node) -> Array.length n.ins) in
+  let written = Array.length net.inputs + total_outs in
+  let read = Array.length net.outputs + total_ins in
+  if written <> net.nwires then
+    err (errf "conservation" "%d wire writes for %d wires" written net.nwires);
+  if read <> net.nwires then
+    err (errf "conservation" "%d wire reads for %d wires" read net.nwires);
+  (* Each balancer forwards every entering token to exactly one output
+     wire, so the network-level token surplus capacity is fixed by
+     degrees alone: sum (out-in) per node = outputs - inputs. *)
+  let surplus = total_outs - total_ins in
+  let expected = Array.length net.outputs - Array.length net.inputs in
+  if surplus <> expected then
+    err
+      (errf "conservation" "node degree surplus %d, network surplus %d" surplus
+         expected);
+  match List.rev !errs with
+  | [] ->
+      Ok
+        (Printf.sprintf
+           "wire census balances (%d written = %d read = %d wires); degree \
+            surplus %d matches %d outputs - %d inputs"
+           written read net.nwires surplus
+           (Array.length net.outputs)
+           (Array.length net.inputs))
+  | errs -> Error errs
+
+(* ------------------------------------------------------------------ *)
+(* Depth bounds                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let expected_depth (net : Ir.network) =
+  let d = Ir.log2 net.width in
+  match net.kind with
+  | Ir.Tree _ -> d
+  | Ir.Counting { flavor = `Bitonic } -> d * (d + 1) / 2
+  | Ir.Counting { flavor = `Periodic } -> d * d
+
+let depth_bounds (net : Ir.network) : (string, error list) result =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  let expected = expected_depth net in
+  let max_layer =
+    Array.fold_left (fun m (n : Ir.node) -> max m (n.layer + 1)) 0 net.nodes
+  in
+  if max_layer <> expected then
+    err (errf "depth" "network depth %d, expected %d" max_layer expected);
+  (* Uniformity: every output wire sits at depth [expected].  With
+     strict layering, a wire leaving a layer-d node has depth d+1, so
+     it suffices to look at the producers of the output wires. *)
+  let depth = Array.make net.nwires 0 in
+  Array.iter
+    (fun (n : Ir.node) -> Array.iter (fun w -> depth.(w) <- n.layer + 1) n.outs)
+    net.nodes;
+  Array.iteri
+    (fun l w ->
+      if depth.(w) <> expected then
+        err
+          (errf "depth" "output %d exits at depth %d, expected %d" l depth.(w)
+             expected))
+    net.outputs;
+  match List.rev !errs with
+  | [] ->
+      Ok
+        (Printf.sprintf "every input-to-output path crosses exactly %d %s"
+           expected
+           (match net.kind with
+           | Ir.Tree _ -> "balancers (log w)"
+           | Ir.Counting { flavor = `Bitonic } ->
+               "balancer layers (log w (log w + 1)/2)"
+           | Ir.Counting { flavor = `Periodic } -> "balancer layers ((log w)^2)"))
+  | errs -> Error errs
+
+(* ------------------------------------------------------------------ *)
+(* Constructor adapter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Unified construction-time diagnostics: the runtime constructors
+   validate their freshly built IR and surface the first defect as an
+   [Invalid_argument], one format for every network family. *)
+let assert_well_formed ~what (net : Ir.network) =
+  match well_formed net with
+  | Ok _ -> ()
+  | Error ({ code; detail } :: _) ->
+      invalid_arg (Printf.sprintf "%s: %s [%s]" what detail code)
+  | Error [] -> ()

@@ -1,0 +1,16 @@
+(** Structural verification over the wiring IR: well-formedness
+    (single-writer/single-reader wires, arities, strict layering hence
+    acyclicity), conservation-by-construction degree accounting, and
+    the paper's depth bounds.  Each pass returns a certificate summary
+    or a list of coded errors. *)
+
+type error = { code : string; detail : string }
+
+val well_formed : Ir.network -> (string, error list) result
+val conservation : Ir.network -> (string, error list) result
+val depth_bounds : Ir.network -> (string, error list) result
+
+val assert_well_formed : what:string -> Ir.network -> unit
+(** Raise [Invalid_argument "<what>: <detail> [<code>]"] on the first
+    well-formedness error — the unified construction-time diagnostics
+    of the runtime network constructors. *)

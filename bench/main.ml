@@ -7,8 +7,8 @@
      dune exec bench/main.exe -- --quick all  -- reduced scale
      dune exec bench/main.exe -- --full all   -- the paper's 10^6 cycles
 
-   Experiments: fig7 fig8 table1 fig9 fig10 chaos adapt ablate extra
-   native all
+   Experiments: fig7 fig8 table1 fig9 fig10 chaos service adapt ablate
+   extra native all
    (see DESIGN.md §3 for the experiment index, EXPERIMENTS.md for
    paper-vs-measured).  With [--json], experiments that support it also
    write machine-readable BENCH_<experiment>.json point files.
@@ -518,6 +518,116 @@ let chaos scale =
        levels)
 
 (* ------------------------------------------------------------------ *)
+(* S1: the sharded service frontend (docs/SHARDING.md)                 *)
+(* ------------------------------------------------------------------ *)
+
+let service_point_json (p : W.Service.point) =
+  R.Obj
+    ([
+       ("regime", R.Str p.W.Service.regime_name);
+       ("regime_detail", R.Str p.W.Service.regime);
+       ("shards", R.Int p.W.Service.shards);
+       ("steal_probes", R.Int p.W.Service.steal_probes);
+       ("policy", R.Str p.W.Service.policy);
+       ("procs", R.Int p.W.Service.procs);
+       ("width", R.Int p.W.Service.width);
+       ("sessions", R.Int p.W.Service.sessions);
+       ("requests", R.Int p.W.Service.requests);
+       ("completed", R.Int p.W.Service.completed);
+       ("starved", R.Int p.W.Service.starved);
+       ("throughput_per_m", R.Int p.W.Service.throughput_per_m);
+       ("sojourn", R.histogram_json p.W.Service.sojourn);
+       ("steal_empty_homes", R.Int p.W.Service.steal_empty_homes);
+       ("steal_probed", R.Int p.W.Service.steal_probed);
+       ("steal_hits", R.Int p.W.Service.steal_hits);
+       ("residue", R.Int p.W.Service.residue);
+       ( "residue_by_shard",
+         R.Arr (List.map (fun r -> R.Int r) p.W.Service.residue_by_shard) );
+       ( "conservation_ok",
+         R.Bool p.W.Service.conservation.Analysis.Conservation.ok );
+       ( "conservation",
+         R.Str p.W.Service.conservation.Analysis.Conservation.detail );
+       ( "conservation_by_shard_ok",
+         R.Bool
+           (List.for_all
+              (fun (r : Analysis.Conservation.report) ->
+                r.Analysis.Conservation.ok)
+              p.W.Service.conservation_by_shard) );
+     ]
+    @ mem_fields p.W.Service.mem)
+
+let service scale =
+  print_string
+    "== S1: sharded service frontend, closed-loop sessions \
+     (docs/SHARDING.md) ==\n\n";
+  (* Session budget by scale: the default sweep simulates >= 1M
+     sessions total (6 points x 175k); quick keeps CI fast. *)
+  let sessions =
+    if scale.horizon < 100_000 then 5_000
+    else if scale.horizon > 500_000 then 350_000
+    else 175_000
+  in
+  let shard_counts = [ 1; 8 ] in
+  let regimes = W.Service.default_regimes ~mean_gap:800 in
+  let points =
+    List.concat_map
+      (fun regime ->
+        List.map
+          (fun shards ->
+            progress "service: %s shards=%d sessions=%d"
+              (W.Arrivals.describe regime) shards sessions;
+            W.Service.run ~shards ~sessions ~regime ())
+          shard_counts)
+      regimes
+  in
+  List.iter (fun p -> print_endline (W.Service.format_point p)) points;
+  print_newline ();
+  let columns = List.map string_of_int shard_counts in
+  let cell f regime shards =
+    let p =
+      List.find
+        (fun (p : W.Service.point) ->
+          p.W.Service.regime_name = W.Arrivals.name regime
+          && p.W.Service.shards = shards)
+        points
+    in
+    f p
+  in
+  print_string
+    (R.table
+       ~title:"Completed requests per 10^6 cycles vs shard count"
+       ~row_label:"regime" ~columns
+       (List.map
+          (fun regime ->
+            ( W.Arrivals.name regime,
+              List.map
+                (cell (fun p -> R.int_ p.W.Service.throughput_per_m) regime)
+                shard_counts ))
+          regimes));
+  print_newline ();
+  print_string
+    (R.table ~title:"Sojourn (completion - scheduled arrival), p50/p90/p99 \
+                     (cycles)"
+       ~row_label:"regime" ~columns
+       (List.map
+          (fun regime ->
+            ( W.Arrivals.name regime,
+              List.map
+                (cell (fun p -> R.latency_cell p.W.Service.sojourn) regime)
+                shard_counts ))
+          regimes));
+  print_newline ();
+  let all_ok =
+    List.for_all
+      (fun (p : W.Service.point) ->
+        p.W.Service.conservation.Analysis.Conservation.ok)
+      points
+  in
+  Printf.printf "conservation (whole frontend, per shard): %s\n\n"
+    (if all_ok then "PASS" else "FAIL");
+  emit_json ~experiment:"service" (List.map service_point_json points)
+
+(* ------------------------------------------------------------------ *)
 (* A1: the adaptive crossover (docs/ADAPTIVE.md)                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -983,6 +1093,7 @@ let native_benches () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let t_start = Sys.time () in
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref default_scale in
   let picked = ref [] in
@@ -1036,6 +1147,7 @@ let () =
   if want "fig9" then fig9 scale;
   if want "fig10" then fig10 scale;
   if want "chaos" then chaos scale;
+  if want "service" then service scale;
   if want "adapt" then adapt_exp scale;
   if want "ablate" then ablate scale;
   if want "extra" then begin
@@ -1044,4 +1156,11 @@ let () =
     thesis scale;
     model scale
   end;
-  if want "native" then native_benches ()
+  if want "native" then native_benches ();
+  (* Host-side cost of the run, for BENCH_BASELINE.md: simulator
+     events/sec derive from the per-point "events" JSON fields over
+     this wall figure. *)
+  let gc = Gc.quick_stat () in
+  progress "host: %.1fs cpu, %.2e minor words, %.2e major words, %d major gcs"
+    (Sys.time () -. t_start)
+    gc.Gc.minor_words gc.Gc.major_words gc.Gc.major_collections

@@ -349,6 +349,99 @@ let chaos_cmd =
       const run $ procs_t $ seed_t $ horizon_t $ fault_seed_t $ stall_t
       $ crash_t $ hotspot_t $ jitter_t $ method_t)
 
+(* service: the sharded service frontend under closed-loop sessions
+   (etrees.shard, docs/SHARDING.md) *)
+let service_cmd =
+  let shards_t =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~doc:"Independent elimination trees behind the hash.")
+  in
+  let sessions_t =
+    Arg.(
+      value & opt int 10_000
+      & info [ "sessions" ]
+          ~doc:"Client sessions (rounded to a multiple of --procs).")
+  in
+  let arrival_t =
+    let regime_conv =
+      let parse s =
+        if List.mem s W.Arrivals.known_names then Ok s
+        else
+          Error
+            (`Msg
+              (Printf.sprintf "unknown arrival regime %S (expected one of: %s)"
+                 s
+                 (String.concat ", " W.Arrivals.known_names)))
+      in
+      Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt s)
+    in
+    Arg.(
+      value & opt regime_conv "poisson"
+      & info [ "arrival" ]
+          ~doc:
+            (Printf.sprintf "Arrival regime: %s."
+               (String.concat ", " W.Arrivals.known_names)))
+  in
+  let mean_gap_t =
+    Arg.(
+      value & opt int 800
+      & info [ "mean-gap" ]
+          ~doc:"Mean cycles between a worker's request arrivals.")
+  in
+  let width_t =
+    Arg.(
+      value & opt int 4
+      & info [ "width" ] ~doc:"Per-shard elimination-tree width.")
+  in
+  let steal_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "steal" ] ~docv:"N"
+          ~doc:
+            "Foreign shards probed when the home shard runs dry (default \
+             shards - 1; 0 disables stealing).")
+  in
+  let adapt_t =
+    Arg.(
+      value & flag
+      & info [ "adapt" ]
+          ~doc:
+            "Run each shard under the reactive controller \
+             (docs/ADAPTIVE.md), reseeded per shard, instead of the static \
+             tuning.")
+  in
+  let run procs seed shards sessions arrival mean_gap width steal adapt =
+    let regime =
+      match W.Arrivals.of_name arrival ~mean_gap with
+      | Some r -> r
+      | None -> assert false (* conv validated the name *)
+    in
+    let policy = if adapt then `Reactive Adapt.default else `Static in
+    let p =
+      W.Service.run ~seed ~procs ~width ~shards ?steal_probes:steal ~policy
+        ~sessions ~regime ()
+    in
+    print_endline (W.Service.format_point p);
+    Printf.printf
+      "  completed %d/%d requests, end clock %d, empty homes %d\n"
+      p.W.Service.completed p.W.Service.requests p.W.Service.end_clock
+      p.W.Service.steal_empty_homes;
+    Printf.printf "  residue by shard: [%s]\n"
+      (String.concat "; "
+         (List.map string_of_int p.W.Service.residue_by_shard))
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Sharded service frontend (docs/SHARDING.md): closed-loop sessions \
+          against N elimination trees behind a session hash, with overflow \
+          stealing; reports SLO sojourn percentiles and the whole-frontend \
+          conservation audit.")
+    Term.(
+      const run $ procs_t $ seed_t $ shards_t $ sessions_t $ arrival_t
+      $ mean_gap_t $ width_t $ steal_t $ adapt_t)
+
 (* trace: deterministic tracing, cycle attribution, Perfetto export
    (etrees.trace) *)
 let trace_cmd =
@@ -846,6 +939,7 @@ let () =
             response_cmd;
             table1_cmd;
             chaos_cmd;
+            service_cmd;
             trace_cmd;
             check_cmd;
             netverify_cmd;

@@ -158,8 +158,7 @@ module Controller = struct
     let spin_lo, spin_hi = clamp_bounds config ~base:(max 1 spin0) in
     {
       config;
-      rng =
-        Engine.Splitmix.split (Engine.Splitmix.of_int config.seed) ~index:id;
+      rng = Engine.Splitmix.stream ~seed:config.seed ~index:id;
       spin_base = max 1 spin0;
       spin_lo;
       spin_hi;

@@ -59,6 +59,40 @@ let audit input =
   in
   { ok; lost; detail; input }
 
+(* Conservation composes over a sharded frontend: when every element
+   lives in exactly one shard (stealing moves the dequeuer, not the
+   element), the whole-frontend ledger is the field-wise sum, with a
+   known residue only if every shard reports one.  [in_flight] slack
+   also sums: a crashed processor strands at most one element no
+   matter which shard it was visiting. *)
+let combine inputs =
+  let zero =
+    {
+      enq_started = 0;
+      enq_completed = 0;
+      dequeued = 0;
+      duplicates = 0;
+      phantoms = 0;
+      residue = Some 0;
+      in_flight = 0;
+    }
+  in
+  List.fold_left
+    (fun acc i ->
+      {
+        enq_started = acc.enq_started + i.enq_started;
+        enq_completed = acc.enq_completed + i.enq_completed;
+        dequeued = acc.dequeued + i.dequeued;
+        duplicates = acc.duplicates + i.duplicates;
+        phantoms = acc.phantoms + i.phantoms;
+        residue =
+          (match (acc.residue, i.residue) with
+          | Some a, Some b -> Some (a + b)
+          | _ -> None);
+        in_flight = acc.in_flight + i.in_flight;
+      })
+    zero inputs
+
 let check_values ~enq_started dequeued =
   let seen = Hashtbl.create (List.length dequeued) in
   List.fold_left

@@ -38,6 +38,13 @@ type report = {
 
 val audit : input -> report
 
+val combine : input list -> input
+(** Field-wise sum: the whole-frontend ledger of a sharded structure
+    (lib/shard), where every element lives in exactly one shard and a
+    steal moves the dequeuer, not the element.  [residue] is the sum
+    when every part reports one, [None] otherwise; [in_flight] slack
+    sums.  [combine \[\]] is the all-zero ledger (known residue 0). *)
+
 val check_values : enq_started:(int -> bool) -> int list -> int * int
 (** [check_values ~enq_started dequeued] returns [(duplicates,
     phantoms)] over the dequeued-value list; [enq_started v] says

@@ -16,6 +16,7 @@ module Tree = Core.Elim_tree.Make (E)
 module Counter = Core.Inc_dec_counter.Make (E)
 module Central = Baselines.Central_pool.Make (E)
 module Naive_counter = Sync.Naive_counter.Make (E)
+module Spool = Shard.Shard_pool.Make (E)
 
 type t = {
   name : string;
@@ -268,6 +269,54 @@ let tree_buggy =
       "tree with the seeded skip-toggle-on-miss defect: the checker must \
        find a step-property counterexample"
 
+(* The sharded frontend (lib/shard, docs/SHARDING.md) over two width-w
+   trees.  Sessions are picked at prepare time so every enqueue homes
+   on shard 0 and every dequeue homes on shard 1: the dequeuer's home
+   attempt always comes up empty and each successful dequeue is a
+   steal, so the checker exhausts the cross-shard path (residue glance,
+   probe, foreign-tree traversal) rather than the self-balanced fast
+   path.  Verified at quiescence: whole-frontend conservation
+   (stealing included) and the pool step property of each shard's own
+   balancer tree — a steal moves the dequeuer, never the element, so
+   both must hold per shard. *)
+let shard =
+  {
+    name = "shard";
+    describe =
+      "sharded frontend (2 shards), every dequeue steals: whole-frontend \
+       conservation + per-shard pool step property";
+    make =
+      (fun ~procs ~width ~ops ->
+        {
+          Explore.name = "shard";
+          procs;
+          prepare =
+            (fun () ->
+              let p : int Spool.t =
+                Spool.create ~capacity:procs ~width ~shards:2 ()
+              in
+              let session_on shard =
+                let rec find s =
+                  if s > 1024 then
+                    failwith "shard scenario: no session found"
+                  else if Spool.shard_of p ~session:s = shard then s
+                  else find (s + 1)
+                in
+                find 0
+              in
+              let enq_session = session_on 0 in
+              let deq_session = session_on 1 in
+              pool_instance ~ops ~mode:`Pool
+                ~enq:(fun v -> Spool.enqueue p ~session:enq_session v)
+                ~deq:(fun () ->
+                  Spool.dequeue ~stop:(fun () -> true) p
+                    ~session:deq_session)
+                ~residue:(fun () -> Spool.residue p)
+                ~stats:(fun () ->
+                  List.concat (Spool.balancer_stats_by_shard p)));
+        });
+  }
+
 (* The centralized pool of Figure 5 (the known-blocking baseline).
    Balanced variant: even pids enqueue, odd pids dequeue the same
    count — dequeues poll but are always eventually fed, so every
@@ -338,6 +387,7 @@ let all =
     counter_mixed;
     tree;
     tree_buggy;
+    shard;
     central_pool;
     central_pool_starved;
   ]

@@ -14,16 +14,36 @@ let create seed = { state = seed }
 
 let of_int seed = create (Int64.of_int seed)
 
+(* Murmur3-style 64-bit finalizer.  This is the single mixing function
+   behind stream derivation ([split]), the fault planner's pure hashing
+   and the shard frontend's session→shard hash — shared here so the
+   three cannot drift apart. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
 (* Derive an independent stream: mixing the parent seed with the stream
    index through the output function keeps streams decorrelated even for
    consecutive indices. *)
 let split t ~index =
-  let mix z =
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
-    Int64.logxor z (Int64.shift_right_logical z 33)
+  create (mix64 (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (index + 1)))))
+
+let stream ~seed ~index = split (of_int seed) ~index
+
+(* Pure (stateless) non-negative hash of a triple: decorrelates
+   consecutive inputs so per-(pid, cycle) jitter and per-session shard
+   choice look noise-like while remaining pure functions. *)
+let hash3 a b c =
+  let z =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int a) golden_gamma)
+         (Int64.add
+            (Int64.mul (Int64.of_int b) 0xBF58476D1CE4E5B9L)
+            (Int64.of_int c)))
   in
-  create (mix (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (index + 1)))))
+  Int64.to_int z land max_int
 
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -18,6 +18,20 @@ val split : t -> index:int -> t
 (** [split base ~index] derives an independent stream for stream
     [index] without advancing [base]. *)
 
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] is [split (of_int seed) ~index]: the one
+    canonical way to derive stream [index] of an integer-seeded family
+    (adapt controllers, fault classes, arrival generators). *)
+
+val mix64 : int64 -> int64
+(** The Murmur3-style 64-bit finalizer behind {!split}.  Exposed so
+    every pure hash in the library mixes through the same function. *)
+
+val hash3 : int -> int -> int -> int
+(** [hash3 a b c] is a pure non-negative hash of the triple, suitable
+    for stateless noise (fault jitter) and key→bucket mapping (the
+    shard frontend's session hash). *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -24,27 +24,10 @@ let is_none t = t.events = []
 (* Pure hashing (jitter amounts, hot-spot location selection)          *)
 (* ------------------------------------------------------------------ *)
 
-(* Murmur3/Splitmix-style 64-bit finalizer: decorrelates consecutive
-   inputs so per-(pid, cycle) jitter looks noise-like while remaining a
-   pure function. *)
-let mix64 z =
-  let open Int64 in
-  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
-  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
-  logxor z (shift_right_logical z 33)
-
-let hash3 a b c =
-  let z =
-    mix64
-      (Int64.add
-         (Int64.mul (Int64.of_int a) 0x9e3779b97f4a7c15L)
-         (Int64.add
-            (Int64.mul (Int64.of_int b) 0xbf58476d1ce4e5b9L)
-            (Int64.of_int c)))
-  in
-  Int64.to_int z land max_int
-
-let hash_mod a b c m = if m <= 0 then 0 else hash3 a b c mod m
+(* The finalizer itself lives in {!Engine.Splitmix.hash3} (shared with
+   stream derivation and the shard frontend's session hash); here we
+   only bound it to a modulus. *)
+let hash_mod a b c m = if m <= 0 then 0 else Engine.Splitmix.hash3 a b c mod m
 
 (* Is location [id] inside the [num/den] slice selected by [salt]? *)
 let hot_location ~salt ~num ~den id = hash_mod id salt 0x407 den < num
@@ -53,7 +36,7 @@ let hot_location ~salt ~num ~den id = hash_mod id salt 0x407 den < num
 (* Seed-derived constructors                                           *)
 (* ------------------------------------------------------------------ *)
 
-let rng_of ~seed ~tag = Engine.Splitmix.split (Engine.Splitmix.of_int seed) ~index:tag
+let rng_of ~seed ~tag = Engine.Splitmix.stream ~seed ~index:tag
 
 let stalls ~seed ~procs ~horizon ~count ~cycles =
   if procs < 1 then invalid_arg "Fault_plan.stalls: procs must be positive";

@@ -1,0 +1,171 @@
+(* A sharded frontend over N independent elimination-tree pools
+   (docs/SHARDING.md).
+
+   The paper's structure is a single global tree; this is the scale-out
+   step (ROADMAP item 2): route each client session to a "home" shard
+   with a stateless splitmix hash, and on an empty home steal from a
+   bounded probe sequence of foreign shards.  The frontend adds no
+   shared state of its own — every element lives in exactly one
+   [Elim_pool] from enqueue to dequeue, and a steal IS the dequeue
+   (performed by the stealing processor against the victim shard), so
+   whole-frontend conservation is the sum of per-shard conservation
+   and the summed residue is exact at quiescence.
+
+   Adaptation composes: with [`Reactive cfg] each shard's controllers
+   run on an independent stream (the shard index splits [cfg.seed]), so
+   shard 0's decisions never mirror shard 1's under symmetric load. *)
+
+module Make (E : Engine.S) = struct
+  module Pool = Core.Elim_pool.Make (E)
+
+  (* Host-level steal counters, in the style of [Core.Elim_stats]:
+     plain mutable fields are exact and free under the single-threaded
+     simulator, racy-hence-approximate under native parallelism, and
+     never read by the algorithm itself. *)
+  type counters = {
+    mutable c_empty_homes : int;  (* dequeues whose home attempt found nothing *)
+    mutable c_probes : int;       (* foreign-shard attempts *)
+    mutable c_steals : int;       (* values obtained from a foreign shard *)
+  }
+
+  type steal_stats = { empty_homes : int; probes : int; steals : int }
+
+  type 'v t = {
+    pools : 'v Pool.t array;
+    hash_seed : int;
+    steal_probes : int;  (* foreign shards probed per round; 0 = no stealing *)
+    steal : counters;
+  }
+
+  let reseed_policy policy index =
+    match policy with
+    | Some (`Reactive cfg) ->
+        Some
+          (`Reactive
+             { cfg with Adapt.seed = Engine.Splitmix.hash3 cfg.Adapt.seed index 0 })
+    | other -> other
+
+  let create ?config ?policy ?eliminate ?leaf_size ?steal_probes
+      ?(hash_seed = 0) ~capacity ~width ~shards () =
+    if shards < 1 then invalid_arg "Shard_pool.create: shards must be >= 1";
+    let steal_probes =
+      match steal_probes with
+      | None -> shards - 1 (* default: one round may visit every foreign shard *)
+      | Some p when p < 0 ->
+          invalid_arg "Shard_pool.create: steal_probes must be >= 0"
+      | Some p -> min p (shards - 1)
+    in
+    {
+      pools =
+        Array.init shards (fun i ->
+            Pool.create ?config ?policy:(reseed_policy policy i) ?eliminate
+              ?leaf_size ~capacity ~width ());
+      hash_seed;
+      steal_probes;
+      steal = { c_empty_homes = 0; c_probes = 0; c_steals = 0 };
+    }
+
+  let shard_count t = Array.length t.pools
+  let width t = Pool.width t.pools.(0)
+
+  (* Session -> home shard: a pure hash, so routing needs no shared
+     state and any participant can compute any session's home. *)
+  let shard_of t ~session =
+    Engine.Splitmix.hash3 t.hash_seed session 0 mod Array.length t.pools
+
+  let enqueue t ~session v = Pool.enqueue t.pools.(shard_of t ~session) v
+
+  (* One bounded attempt: traverse the tree and return immediately if
+     the leaf pool is empty (the [stop] contract of [Pool.dequeue]). *)
+  let try_pool pool = Pool.dequeue ~stop:(fun () -> true) pool
+
+  let dequeue ?(stop = fun () -> false) t ~session =
+    let n = Array.length t.pools in
+    let home = shard_of t ~session in
+    (* Probe sequence start is a second hash of the session, so
+       concurrent victims of one empty shard fan out over different
+       foreign shards instead of convoying on home+1. *)
+    let start = Engine.Splitmix.hash3 t.hash_seed session 1 mod n in
+    let rec probe k visited =
+      if visited >= t.steal_probes then None
+      else
+        let s = (start + k) mod n in
+        if s = home then probe (k + 1) visited
+        else begin
+          t.steal.c_probes <- t.steal.c_probes + 1;
+          (* Glance at the victim's buffered count before paying a full
+             traversal (spin windows included): an empty-looking shard
+             costs width reads, not a tree walk.  The glance is racy —
+             a miss is fine, the caller loops rounds — but a home
+             attempt never takes it, so elimination against concurrent
+             enqueuers is preserved where it matters. *)
+          if Pool.residue t.pools.(s) = 0 then probe (k + 1) (visited + 1)
+          else
+            match try_pool t.pools.(s) with
+            | Some v ->
+                t.steal.c_steals <- t.steal.c_steals + 1;
+                Some v
+            | None -> probe (k + 1) (visited + 1)
+        end
+    in
+    let rec round backoff =
+      match try_pool t.pools.(home) with
+      | Some v -> Some v
+      | None -> (
+          t.steal.c_empty_homes <- t.steal.c_empty_homes + 1;
+          match probe 0 0 with
+          | Some v -> Some v
+          | None ->
+              if stop () then None
+              else begin
+                (* A full empty round means the frontend is (at least
+                   transiently) drained: back off exponentially so
+                   waiting dequeuers don't flood every shard's tree
+                   with probe traffic, and always advance the clock so
+                   the wait is engine-visible. *)
+                E.delay backoff;
+                round (min (backoff * 2) 4096)
+              end)
+    in
+    round 1
+
+  let residue_by_shard t = Array.to_list (Array.map Pool.residue t.pools)
+  let residue t = Array.fold_left (fun acc p -> acc + Pool.residue p) 0 t.pools
+
+  let steal_stats t =
+    {
+      empty_homes = t.steal.c_empty_homes;
+      probes = t.steal.c_probes;
+      steals = t.steal.c_steals;
+    }
+
+  (* Aggregated per-depth statistics: shard trees are structurally
+     identical, so depth d of the frontend is the merge of depth d of
+     every shard ([Elim_stats.merge] sums fresh records). *)
+  let stats_by_level t =
+    let per_shard = Array.map Pool.stats_by_level t.pools in
+    List.init
+      (List.length per_shard.(0))
+      (fun d ->
+        Core.Elim_stats.merge
+          (Array.to_list (Array.map (fun l -> List.nth l d) per_shard)))
+
+  let balancer_stats_by_shard t =
+    Array.to_list (Array.map Pool.balancer_stats_by_level t.pools)
+
+  let reset_stats t =
+    Array.iter Pool.reset_stats t.pools;
+    t.steal.c_empty_homes <- 0;
+    t.steal.c_probes <- 0;
+    t.steal.c_steals <- 0
+
+  (* Per-depth adaptation snapshots, shards concatenated within each
+     depth (matches the [Pool_obj.adapt_by_level] shape). *)
+  let adapt_by_level t =
+    let per_shard = Array.map Pool.adapt_by_level t.pools in
+    List.init
+      (List.length per_shard.(0))
+      (fun d ->
+        List.concat
+          (Array.to_list (Array.map (fun l -> List.nth l d) per_shard)))
+end

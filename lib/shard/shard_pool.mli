@@ -1,0 +1,83 @@
+(** A sharded frontend over N independent elimination-tree pools
+    (docs/SHARDING.md, ROADMAP item 2).
+
+    Sessions are routed to a home shard by a stateless splitmix hash;
+    a dequeue that finds its home empty steals from a bounded,
+    session-spread probe sequence of foreign shards.  The frontend
+    itself holds no shared state: every element lives in exactly one
+    {!Core.Elim_pool} between enqueue and dequeue (a steal is simply a
+    dequeue against the victim shard), so whole-frontend conservation
+    is the sum over shards and the summed residue is exact at
+    quiescence. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  type steal_stats = {
+    empty_homes : int;  (** dequeues whose home attempt found nothing *)
+    probes : int;       (** foreign-shard attempts *)
+    steals : int;       (** values obtained from a foreign shard *)
+  }
+
+  val create :
+    ?config:Core.Tree_config.t ->
+    ?policy:Adapt.policy ->
+    ?eliminate:bool ->
+    ?leaf_size:int ->
+    ?steal_probes:int ->
+    ?hash_seed:int ->
+    capacity:int ->
+    width:int ->
+    shards:int ->
+    unit ->
+    'v t
+  (** [shards] independent [Elim_pool]s of the given [width]; all other
+      structure options are passed through to every shard
+      ({!Core.Elim_pool.Make.create}).  Under [?policy:(`Reactive cfg)]
+      each shard's controllers get an independent stream ([cfg.seed]
+      split by the shard index).  [steal_probes] bounds the foreign
+      shards probed per dequeue round (clamped to [shards - 1];
+      default all of them; [0] disables stealing).  [hash_seed] salts
+      the session hash. *)
+
+  val shard_count : 'v t -> int
+  val width : 'v t -> int
+
+  val shard_of : 'v t -> session:int -> int
+  (** The session's home shard: a pure hash
+      ({!Engine.Splitmix.hash3}), computable by any participant. *)
+
+  val enqueue : 'v t -> session:int -> 'v -> unit
+  (** Enqueue at the session's home shard; never blocks (P1 per
+      shard). *)
+
+  val dequeue : ?stop:(unit -> bool) -> 'v t -> session:int -> 'v option
+  (** One bounded attempt at the home shard, then up to [steal_probes]
+      bounded attempts over foreign shards (probe order spread by a
+      second session hash), repeating until a value arrives or [stop]
+      fires ([None]).  Without [stop] it returns [None] never; every
+      empty round costs at least one cycle, so waiting is
+      engine-visible. *)
+
+  val residue : 'v t -> int
+  (** Elements buffered across all shards (exact when quiescent). *)
+
+  val residue_by_shard : 'v t -> int list
+
+  val steal_stats : 'v t -> steal_stats
+
+  val stats_by_level : 'v t -> Core.Elim_stats.t list
+  (** Per-depth merge across all shards (shard trees are structurally
+      identical). *)
+
+  val balancer_stats_by_shard : 'v t -> Core.Elim_stats.t list list list
+  (** Each shard's live [balancer_stats_by_level], in shard order —
+      the model checker's per-shard step-property input. *)
+
+  val reset_stats : 'v t -> unit
+
+  val adapt_by_level : 'v t -> (int * int list) list list
+  (** Reactive [(spin, widths)] snapshots per depth, shards
+      concatenated within each depth; empty inner lists under
+      [`Static]. *)
+end

@@ -1,0 +1,137 @@
+(* The stack-flavoured sharded frontend: identical routing and steal
+   protocol to {!Shard_pool}, over [Core.Elim_stack] shards (the
+   paper's §3 stack-like pool).  LIFO order holds per shard in
+   sequential executions; the frontend keeps only pool semantics
+   (sharding, like elimination, trades global LIFO for scale). *)
+
+module Make (E : Engine.S) = struct
+  module Stack = Core.Elim_stack.Make (E)
+
+  type counters = {
+    mutable c_empty_homes : int;
+    mutable c_probes : int;
+    mutable c_steals : int;
+  }
+
+  type steal_stats = { empty_homes : int; probes : int; steals : int }
+
+  type 'v t = {
+    stacks : 'v Stack.t array;
+    hash_seed : int;
+    steal_probes : int;
+    steal : counters;
+  }
+
+  let reseed_policy policy index =
+    match policy with
+    | Some (`Reactive cfg) ->
+        Some
+          (`Reactive
+             { cfg with Adapt.seed = Engine.Splitmix.hash3 cfg.Adapt.seed index 0 })
+    | other -> other
+
+  let create ?config ?policy ?eliminate ?leaf_size ?steal_probes
+      ?(hash_seed = 0) ~capacity ~width ~shards () =
+    if shards < 1 then invalid_arg "Shard_stack.create: shards must be >= 1";
+    let steal_probes =
+      match steal_probes with
+      | None -> shards - 1
+      | Some p when p < 0 ->
+          invalid_arg "Shard_stack.create: steal_probes must be >= 0"
+      | Some p -> min p (shards - 1)
+    in
+    {
+      stacks =
+        Array.init shards (fun i ->
+            Stack.create ?config ?policy:(reseed_policy policy i) ?eliminate
+              ?leaf_size ~capacity ~width ());
+      hash_seed;
+      steal_probes;
+      steal = { c_empty_homes = 0; c_probes = 0; c_steals = 0 };
+    }
+
+  let shard_count t = Array.length t.stacks
+  let width t = Stack.width t.stacks.(0)
+
+  let shard_of t ~session =
+    Engine.Splitmix.hash3 t.hash_seed session 0 mod Array.length t.stacks
+
+  let push t ~session v = Stack.push t.stacks.(shard_of t ~session) v
+
+  let try_stack stack = Stack.pop ~stop:(fun () -> true) stack
+
+  let pop ?(stop = fun () -> false) t ~session =
+    let n = Array.length t.stacks in
+    let home = shard_of t ~session in
+    let start = Engine.Splitmix.hash3 t.hash_seed session 1 mod n in
+    let rec probe k visited =
+      if visited >= t.steal_probes then None
+      else
+        let s = (start + k) mod n in
+        if s = home then probe (k + 1) visited
+        else begin
+          t.steal.c_probes <- t.steal.c_probes + 1;
+          (* Residue glance before the full traversal; see
+             {!Shard_pool}. *)
+          if Stack.residue t.stacks.(s) = 0 then probe (k + 1) (visited + 1)
+          else
+            match try_stack t.stacks.(s) with
+            | Some v ->
+                t.steal.c_steals <- t.steal.c_steals + 1;
+                Some v
+            | None -> probe (k + 1) (visited + 1)
+        end
+    in
+    let rec round backoff =
+      match try_stack t.stacks.(home) with
+      | Some v -> Some v
+      | None -> (
+          t.steal.c_empty_homes <- t.steal.c_empty_homes + 1;
+          match probe 0 0 with
+          | Some v -> Some v
+          | None ->
+              if stop () then None
+              else begin
+                (* See {!Shard_pool}: exponential backoff between empty
+                   rounds, clock always advancing. *)
+                E.delay backoff;
+                round (min (backoff * 2) 4096)
+              end)
+    in
+    round 1
+
+  let residue_by_shard t = Array.to_list (Array.map Stack.residue t.stacks)
+  let residue t = Array.fold_left (fun acc s -> acc + Stack.residue s) 0 t.stacks
+
+  let steal_stats t =
+    {
+      empty_homes = t.steal.c_empty_homes;
+      probes = t.steal.c_probes;
+      steals = t.steal.c_steals;
+    }
+
+  let stats_by_level t =
+    let per_shard = Array.map Stack.stats_by_level t.stacks in
+    List.init
+      (List.length per_shard.(0))
+      (fun d ->
+        Core.Elim_stats.merge
+          (Array.to_list (Array.map (fun l -> List.nth l d) per_shard)))
+
+  let balancer_stats_by_shard t =
+    Array.to_list (Array.map Stack.balancer_stats_by_level t.stacks)
+
+  let reset_stats t =
+    Array.iter Stack.reset_stats t.stacks;
+    t.steal.c_empty_homes <- 0;
+    t.steal.c_probes <- 0;
+    t.steal.c_steals <- 0
+
+  let adapt_by_level t =
+    let per_shard = Array.map Stack.adapt_by_level t.stacks in
+    List.init
+      (List.length per_shard.(0))
+      (fun d ->
+        List.concat
+          (Array.to_list (Array.map (fun l -> List.nth l d) per_shard)))
+end

@@ -1,0 +1,45 @@
+(** The stack-flavoured sharded frontend: {!Shard_pool}'s routing and
+    steal protocol over {!Core.Elim_stack} shards.  LIFO order is per
+    shard (and, like elimination itself, best-effort under
+    concurrency); the frontend guarantees pool semantics. *)
+
+module Make (E : Engine.S) : sig
+  type 'v t
+
+  type steal_stats = {
+    empty_homes : int;
+    probes : int;
+    steals : int;
+  }
+
+  val create :
+    ?config:Core.Tree_config.t ->
+    ?policy:Adapt.policy ->
+    ?eliminate:bool ->
+    ?leaf_size:int ->
+    ?steal_probes:int ->
+    ?hash_seed:int ->
+    capacity:int ->
+    width:int ->
+    shards:int ->
+    unit ->
+    'v t
+  (** See {!Shard_pool.Make.create}. *)
+
+  val shard_count : 'v t -> int
+  val width : 'v t -> int
+  val shard_of : 'v t -> session:int -> int
+  val push : 'v t -> session:int -> 'v -> unit
+
+  val pop : ?stop:(unit -> bool) -> 'v t -> session:int -> 'v option
+  (** See {!Shard_pool.Make.dequeue} for the steal and [stop]
+      contract. *)
+
+  val residue : 'v t -> int
+  val residue_by_shard : 'v t -> int list
+  val steal_stats : 'v t -> steal_stats
+  val stats_by_level : 'v t -> Core.Elim_stats.t list
+  val balancer_stats_by_shard : 'v t -> Core.Elim_stats.t list list list
+  val reset_stats : 'v t -> unit
+  val adapt_by_level : 'v t -> (int * int list) list list
+end

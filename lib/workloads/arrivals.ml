@@ -1,0 +1,114 @@
+(* Arrival-process generators for the service workload (etrees.shard).
+
+   Three request-arrival regimes over simulated cycles, all built on
+   one private splitmix stream ({!Engine.Splitmix.stream}) so a
+   generator is a pure function of (seed, stream index, draw count,
+   now) — byte-replayable, never touching engine state:
+
+   - [Poisson]: i.i.d. exponential gaps with the configured mean — the
+     memoryless open-loop baseline.
+   - [Bursty]: a Markov-modulated on/off process.  Requests arrive in
+     bursts (geometric length, mean [burst]) at [hot_factor] times the
+     base rate, separated by off-gaps sized so the long-run mean gap
+     stays exactly [mean_gap] in expectation.
+   - [Diurnal]: exponential gaps whose local mean follows
+     [mean_gap / (1 + a sin(2 pi t / period))] — a slow sinusoidal
+     "day"; over whole periods the mean rate is the base rate.
+
+   All means are in simulated cycles per request (per generator). *)
+
+type regime =
+  | Poisson of { mean_gap : int }
+  | Bursty of { mean_gap : int; burst : int; hot_factor : int }
+  | Diurnal of { mean_gap : int; amplitude_pct : int; period : int }
+
+let validate = function
+  | Poisson { mean_gap } when mean_gap >= 1 -> ()
+  | Bursty { mean_gap; burst; hot_factor }
+    when mean_gap >= 1 && burst >= 1 && hot_factor >= 1 ->
+      ()
+  | Diurnal { mean_gap; amplitude_pct; period }
+    when mean_gap >= 1 && amplitude_pct >= 0 && amplitude_pct < 100
+         && period >= 1 ->
+      ()
+  | _ -> invalid_arg "Arrivals: nonsense regime parameters"
+
+let mean_gap = function
+  | Poisson { mean_gap } | Bursty { mean_gap; _ } | Diurnal { mean_gap; _ } ->
+      float_of_int mean_gap
+
+let name = function
+  | Poisson _ -> "poisson"
+  | Bursty _ -> "bursty"
+  | Diurnal _ -> "diurnal"
+
+let describe = function
+  | Poisson { mean_gap } -> Printf.sprintf "poisson(gap %d)" mean_gap
+  | Bursty { mean_gap; burst; hot_factor } ->
+      Printf.sprintf "bursty(gap %d, burst %d, x%d)" mean_gap burst hot_factor
+  | Diurnal { mean_gap; amplitude_pct; period } ->
+      Printf.sprintf "diurnal(gap %d, amp %d%%, period %d)" mean_gap
+        amplitude_pct period
+
+(* CLI defaults: a pronounced but stable burst shape and a "day" short
+   enough that any bench horizon covers many periods. *)
+let of_name s ~mean_gap =
+  match s with
+  | "poisson" -> Some (Poisson { mean_gap })
+  | "bursty" -> Some (Bursty { mean_gap; burst = 32; hot_factor = 8 })
+  | "diurnal" ->
+      Some (Diurnal { mean_gap; amplitude_pct = 80; period = 100_000 })
+  | _ -> None
+
+let known_names = [ "poisson"; "bursty"; "diurnal" ]
+
+type t = {
+  regime : regime;
+  rng : Engine.Splitmix.t;
+  mutable in_burst : int;  (* bursty: requests left in the current burst *)
+}
+
+let create ~seed ~stream regime =
+  validate regime;
+  { regime; rng = Engine.Splitmix.stream ~seed ~index:stream; in_burst = 0 }
+
+(* Uniform in (0,1): top 53 bits, offset so log never sees 0. *)
+let uniform t =
+  let bits = Int64.shift_right_logical (Engine.Splitmix.next_int64 t.rng) 11 in
+  (Int64.to_float bits +. 0.5) /. 9007199254740992.0
+
+let exponential t ~mean =
+  int_of_float (Float.round (-.mean *. log (uniform t)))
+
+(* Geometric on {1, 2, ...} with the given mean. *)
+let geometric t ~mean =
+  if mean <= 1.0 then 1
+  else
+    let q = 1.0 -. (1.0 /. mean) in
+    1 + int_of_float (log (uniform t) /. log q)
+
+let next_gap t ~now =
+  match t.regime with
+  | Poisson { mean_gap } -> exponential t ~mean:(float_of_int mean_gap)
+  | Bursty { mean_gap; burst; hot_factor } ->
+      let mean = float_of_int mean_gap in
+      let hot_gap = mean /. float_of_int hot_factor in
+      if t.in_burst > 0 then begin
+        t.in_burst <- t.in_burst - 1;
+        exponential t ~mean:hot_gap
+      end
+      else begin
+        let len = geometric t ~mean:(float_of_int burst) in
+        t.in_burst <- len - 1;
+        (* Off-gap mean chosen so a whole burst cycle averages
+           [burst * mean_gap] cycles for [burst] requests. *)
+        let off_mean = float_of_int burst *. (mean -. hot_gap) in
+        exponential t ~mean:off_mean
+      end
+  | Diurnal { mean_gap; amplitude_pct; period } ->
+      let a = float_of_int amplitude_pct /. 100.0 in
+      let phase =
+        2.0 *. Float.pi *. float_of_int (now mod period) /. float_of_int period
+      in
+      let local_mean = float_of_int mean_gap /. (1.0 +. (a *. sin phase)) in
+      exponential t ~mean:local_mean

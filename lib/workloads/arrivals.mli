@@ -1,0 +1,45 @@
+(** Arrival-process generators for the service workload
+    (docs/SHARDING.md): Poisson, bursty (Markov-modulated on/off) and
+    diurnal (sinusoidal-rate) request streams over simulated cycles.
+
+    A generator is seed-deterministic (a private
+    {!Engine.Splitmix.stream}, no engine state), so runs replay
+    byte-identically; every regime's long-run mean gap is its
+    configured [mean_gap] (in expectation; the qcheck tests pin the
+    tolerance). *)
+
+type regime =
+  | Poisson of { mean_gap : int }
+  | Bursty of { mean_gap : int; burst : int; hot_factor : int }
+      (** bursts of geometric mean length [burst] at [hot_factor] times
+          the base rate, with compensating off-gaps *)
+  | Diurnal of { mean_gap : int; amplitude_pct : int; period : int }
+      (** local rate [(1 + a sin(2 pi t / period)) / mean_gap],
+          [a = amplitude_pct / 100 < 1] *)
+
+val mean_gap : regime -> float
+(** The configured long-run mean gap, cycles per request. *)
+
+val name : regime -> string
+(** The regime class: ["poisson" | "bursty" | "diurnal"]. *)
+
+val describe : regime -> string
+(** Stable rendering with parameters. *)
+
+val of_name : string -> mean_gap:int -> regime option
+(** CLI lookup by {!name}, with default shape parameters (burst 32 at
+    x8 for bursty; 80%% amplitude, period 100k for diurnal). *)
+
+val known_names : string list
+
+type t
+
+val create : seed:int -> stream:int -> regime -> t
+(** An independent generator on stream [stream] of [seed]
+    ({!Engine.Splitmix.stream}).  Raises [Invalid_argument] on
+    nonsense parameters (mean/burst/factor/period < 1, amplitude
+    outside [0, 100)). *)
+
+val next_gap : t -> now:int -> int
+(** Cycles until this generator's next request, given the current
+    clock (diurnal reads the phase from [now]). *)

@@ -30,7 +30,8 @@ type point = {
   termination : Faults.Termination.verdict;
 }
 
-let default_methods = [ "etree"; "estack"; "mcs"; "ctree"; "dtree32" ]
+let default_methods =
+  [ "etree"; "estack"; "mcs"; "ctree"; "dtree32"; "shard4" ]
 
 let run_plain ?(seed = 1) ?(horizon = 50_000) ?config ?(grace = 25_000)
     ?(workload = 50) ~plan ~procs (make : procs:int -> int Pool_obj.pool) =

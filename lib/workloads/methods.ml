@@ -14,6 +14,7 @@ module Treiber = Extras.Treiber_stack.Make (E)
 module Eb_stack = Extras.Eb_stack.Make (E)
 module Bitonic = Baselines.Bitonic_network.Make (E)
 module Ws = Baselines.Work_stealing.Make (E)
+module Spool = Shard.Shard_pool.Make (E)
 
 let pow2_ceil n =
   let rec go p = if p >= n then p else go (p * 2) in
@@ -86,6 +87,27 @@ let estack_pool ?(width = 32) ?policy ~procs () =
     ~stats_by_level:(fun () -> Estack.stats_by_level s)
     ~residue:(fun () -> Estack.residue s)
     ~adapt_by_level:(fun () -> Estack.adapt_by_level s)
+    ()
+
+(* Shard-<n>x<width>: the sharded frontend (lib/shard) as a plain pool.
+   Enqueues route by the value (every element is a fresh session, so
+   production spreads over shards by hash); dequeues route by a
+   rotating collector id, so consumption spreads independently and the
+   steal path carries whatever imbalance is left — which is how chaos
+   fault plans reach individual shards: a hot-spot or stall on one
+   shard's locations forces the others to absorb its traffic. *)
+let shard_pool ?(shards = 4) ?(width = 8) ~procs () =
+  let p = Spool.create ~capacity:procs ~width ~shards ~leaf_size:8192 () in
+  let next_collector = ref 0 in
+  Pool_obj.pool
+    ~name:(Printf.sprintf "Shard-%dx%d" shards width)
+    ~enqueue:(fun v -> Spool.enqueue p ~session:v v)
+    ~dequeue:(fun ~stop ->
+      let c = !next_collector in
+      incr next_collector;
+      Spool.dequeue ~stop p ~session:c)
+    ~stats_by_level:(fun () -> Spool.stats_by_level p)
+    ~residue:(fun () -> Spool.residue p)
     ()
 
 (* The Figure-5 centralized pool over a pair of counters. *)
@@ -310,6 +332,8 @@ let pool_registry : (string * (procs:int -> int Pool_obj.pool)) list =
     ("treiber", fun ~procs -> treiber_pool ~procs ());
     ("etree-noelim", fun ~procs -> etree_pool_no_elim ~procs ());
     ("etree-1prism", fun ~procs -> etree_pool_single_prism ~procs ());
+    ("shard4", fun ~procs -> shard_pool ~shards:4 ~procs ());
+    ("shard8", fun ~procs -> shard_pool ~shards:8 ~procs ());
   ]
 
 let pool_method = fun name -> List.assoc_opt name pool_registry

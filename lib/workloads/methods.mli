@@ -18,6 +18,7 @@ module Treiber : module type of Extras.Treiber_stack.Make (E)
 module Eb_stack : module type of Extras.Eb_stack.Make (E)
 module Bitonic : module type of Baselines.Bitonic_network.Make (E)
 module Ws : module type of Baselines.Work_stealing.Make (E)
+module Spool : module type of Shard.Shard_pool.Make (E)
 
 val pow2_ceil : int -> int
 val ctree_width : procs:int -> int
@@ -69,6 +70,13 @@ val bitonic_counter :
   unit ->
   Pool_obj.counter
 val ws_pool : ?machine:int -> procs:int -> unit -> int Pool_obj.pool
+
+val shard_pool :
+  ?shards:int -> ?width:int -> procs:int -> unit -> int Pool_obj.pool
+(** "Shard-nxw": the sharded frontend (lib/shard, docs/SHARDING.md) as
+    a plain pool — enqueues route by value, dequeues by a rotating
+    collector id, so the steal path carries the imbalance and chaos
+    fault plans can target individual shards. *)
 
 val ablation_methods : (procs:int -> int Pool_obj.pool) list
 val width_methods : (procs:int -> int Pool_obj.pool) list

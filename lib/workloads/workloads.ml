@@ -13,6 +13,10 @@
     - {!Chaos} — the etrees.faults robustness sweep (degradation under
       deterministic fault plans, with conservation and termination
       audits);
+    - {!Arrivals}/{!Service} — the etrees.shard service frontend:
+      Poisson/bursty/diurnal session arrivals against a sharded
+      elimination-tree pool, with SLO percentiles and a composed
+      conservation audit (docs/SHARDING.md);
     - {!Methods} — constructors for every compared method with the
       paper's parameters, plus the named method registries;
     - {!Pool_obj} — first-class pool/counter plumbing;
@@ -22,6 +26,8 @@
 
 module Pool_obj = Pool_obj
 module Methods = Methods
+module Arrivals = Arrivals
+module Service = Service
 module Produce_consume = Produce_consume
 module Chaos = Chaos
 module Counting = Counting

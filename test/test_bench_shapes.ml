@@ -142,6 +142,58 @@ let test_adapt_shape () =
     true
     (W.Adapt_sweep.low_load_ok reparsed)
 
+(* ------------------------------------------------------------------ *)
+(* S1: the sharded service frontend                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_shape () =
+  (* The same operating point the bench harness sweeps, at test scale:
+     near saturation, one shard collapses while eight keep up. *)
+  let point shards =
+    let p =
+      W.Service.run ~seed:3 ~shards ~sessions:4_000
+        ~regime:(W.Arrivals.Poisson { mean_gap = 800 })
+        ()
+    in
+    R.Obj
+      [
+        ("regime", R.Str p.W.Service.regime_name);
+        ("shards", R.Int p.W.Service.shards);
+        ("throughput_per_m", R.Int p.W.Service.throughput_per_m);
+        ("sojourn", R.histogram_json p.W.Service.sojourn);
+        ("steal_hits", R.Int p.W.Service.steal_hits);
+        ( "conservation_ok",
+          R.Bool p.W.Service.conservation.Analysis.Conservation.ok );
+      ]
+  in
+  let points = write_and_parse ~experiment:"service" [ point 1; point 8 ] in
+  check_int "two points" 2 (List.length points);
+  let at shards =
+    match
+      List.find_opt (fun p -> field_int p "shards" = shards) points
+    with
+    | Some p -> p
+    | None -> Alcotest.failf "no %d-shard point in the re-parsed report" shards
+  in
+  List.iter
+    (fun p ->
+      check_bool "conservation round-trips as ok" true
+        (Option.bind (J.member "conservation_ok" p) J.to_bool = Some true);
+      let sojourn = Option.get (J.member "sojourn" p) in
+      let pct name = field_int sojourn name in
+      check_bool
+        (Printf.sprintf "percentiles ordered (%d/%d/%d)" (pct "p50")
+           (pct "p90") (pct "p99"))
+        true
+        (pct "p50" <= pct "p90" && pct "p90" <= pct "p99"))
+    points;
+  check_int "single tree never steals" 0 (field_int (at 1) "steal_hits");
+  let t1 = field_int (at 1) "throughput_per_m"
+  and t8 = field_int (at 8) "throughput_per_m" in
+  check_bool
+    (Printf.sprintf "sharding scales the saturated frontend (%d -> %d)" t1 t8)
+    true (t8 > t1)
+
 let () =
   Alcotest.run "bench_shapes"
     [
@@ -150,5 +202,7 @@ let () =
           Alcotest.test_case "fig7: elimination >= diffraction" `Quick
             test_fig7_shape;
           Alcotest.test_case "A1: adaptive crossover" `Quick test_adapt_shape;
+          Alcotest.test_case "S1: service frontend scales with shards" `Quick
+            test_service_shape;
         ] );
     ]

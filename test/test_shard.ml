@@ -1,0 +1,388 @@
+(* Tests for the sharded frontend (lib/shard, docs/SHARDING.md) and
+   the service workload's arrival generators (lib/workloads/arrivals):
+
+   - the session hash spreads sessions over every shard without gross
+     skew, and routing is pure (same session, same shard);
+   - the steal path moves dequeuers, not elements: a dequeue homed on
+     an empty shard finds values enqueued on another shard, every such
+     success is counted as a steal, and [steal_probes = 0] disables
+     the path entirely;
+   - per-shard reactive reseeding: shard controllers get distinct
+     streams, and [adapt_by_level] aggregates every shard's entries;
+   - [Analysis.Conservation.combine] composes per-shard ledgers
+     field-wise (the whole-frontend audit of Service);
+   - the service workload conserves values end to end and replays
+     byte-identically for a fixed seed;
+   - arrival generators (qcheck over seeds): deterministic replay is
+     byte-identical, and empirical mean inter-arrival gaps sit within
+     tolerance of the regime's nominal mean. *)
+
+module E = Sim.Engine
+module Spool = Shard.Shard_pool.Make (E)
+module Sstack = Shard.Shard_stack.Make (E)
+module W = Workloads
+module A = W.Arrivals
+module C = Analysis.Conservation
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let run ?seed ~procs body =
+  let stats = Sim.run ?seed ~procs ~abort_after:100_000_000 body in
+  check_int "no simulated processor was cut off" 0 stats.Sim.aborted_procs;
+  stats
+
+(* Find a session id homed on [shard] (mirrors the check scenario). *)
+let session_on pool shard =
+  let rec find s =
+    if s > 4096 then Alcotest.failf "no session homes on shard %d" shard
+    else if Spool.shard_of pool ~session:s = shard then s
+    else find (s + 1)
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_spread () =
+  let shards = 8 in
+  let p : int Spool.t =
+    Spool.create ~capacity:4 ~width:2 ~shards ()
+  in
+  check_int "shard_count" shards (Spool.shard_count p);
+  let counts = Array.make shards 0 in
+  let sessions = 8_000 in
+  for s = 0 to sessions - 1 do
+    let h = Spool.shard_of p ~session:s in
+    check_bool "shard in range" true (h >= 0 && h < shards);
+    check_int "routing is pure" h (Spool.shard_of p ~session:s);
+    counts.(h) <- counts.(h) + 1
+  done;
+  (* Expected 1000 per shard; a fair hash stays well inside 2x. *)
+  Array.iteri
+    (fun i n ->
+      check_bool
+        (Printf.sprintf "shard %d gets %d of %d sessions" i n sessions)
+        true
+        (n > sessions / shards / 2 && n < sessions * 2 / shards))
+    counts
+
+let test_hash_seed_changes_routing () =
+  let p0 : int Spool.t =
+    Spool.create ~hash_seed:0 ~capacity:4 ~width:2 ~shards:8 ()
+  in
+  let p1 : int Spool.t =
+    Spool.create ~hash_seed:1 ~capacity:4 ~width:2 ~shards:8 ()
+  in
+  let differs = ref false in
+  for s = 0 to 63 do
+    if Spool.shard_of p0 ~session:s <> Spool.shard_of p1 ~session:s then
+      differs := true
+  done;
+  check_bool "hash_seed permutes the session map" true !differs
+
+(* ------------------------------------------------------------------ *)
+(* Stealing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_steal_moves_dequeuer () =
+  let p : int Spool.t = Spool.create ~capacity:2 ~width:2 ~shards:2 () in
+  let producer = session_on p 0 in
+  let consumer = session_on p 1 in
+  let n = 16 in
+  let got = ref [] in
+  let (_ : Sim.stats) =
+    run ~procs:1 (fun _ ->
+        for v = 1 to n do
+          Spool.enqueue p ~session:producer v
+        done;
+        for _ = 1 to n do
+          match Spool.dequeue p ~session:consumer with
+          | Some v -> got := v :: !got
+          | None -> Alcotest.fail "dequeue starved with residue present"
+        done)
+  in
+  check_int "all values surfaced" n (List.length !got);
+  check_int "no residue" 0
+    (let r = ref 0 in
+     ignore (Sim.run ~procs:1 (fun _ -> r := Spool.residue p));
+     !r);
+  let s = Spool.steal_stats p in
+  check_int "every success was a steal" n s.Spool.steals;
+  check_int "every round saw an empty home" n s.Spool.empty_homes;
+  check_bool "probes counted" true (s.Spool.probes >= n)
+
+let test_steal_probes_zero_disables () =
+  let p : int Spool.t =
+    Spool.create ~steal_probes:0 ~capacity:2 ~width:2 ~shards:2 ()
+  in
+  let producer = session_on p 0 in
+  let consumer = session_on p 1 in
+  let (_ : Sim.stats) =
+    run ~procs:1 (fun _ ->
+        Spool.enqueue p ~session:producer 7;
+        (match Spool.dequeue ~stop:(fun () -> true) p ~session:consumer with
+        | Some _ -> Alcotest.fail "stole with steal_probes = 0"
+        | None -> ());
+        (* The value is still reachable from its home shard. *)
+        match Spool.dequeue ~stop:(fun () -> true) p ~session:producer with
+        | Some v -> check_int "home dequeue finds it" 7 v
+        | None -> Alcotest.fail "home dequeue missed the residue")
+  in
+  let s = Spool.steal_stats p in
+  check_int "no steals" 0 s.Spool.steals;
+  check_int "no probes" 0 s.Spool.probes
+
+let test_stack_steals_too () =
+  let p : int Sstack.t = Sstack.create ~capacity:2 ~width:2 ~shards:2 () in
+  let rec session_on shard s =
+    if Sstack.shard_of p ~session:s = shard then s
+    else session_on shard (s + 1)
+  in
+  let producer = session_on 0 0 in
+  let consumer = session_on 1 0 in
+  let (_ : Sim.stats) =
+    run ~procs:1 (fun _ ->
+        Sstack.push p ~session:producer 42;
+        match Sstack.pop p ~session:consumer with
+        | Some v -> check_int "stolen pop" 42 v
+        | None -> Alcotest.fail "pop starved")
+  in
+  check_int "one steal" 1 (Sstack.steal_stats p).Sstack.steals
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard reactive reseeding                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_reactive_reseed_distinct () =
+  (* The per-shard controller seeds are hash3(seed, shard, 0): distinct
+     across shards for any base seed. *)
+  for seed = 0 to 99 do
+    check_bool "shard 0 and 1 reseed apart" true
+      (Engine.Splitmix.hash3 seed 0 0 <> Engine.Splitmix.hash3 seed 1 0)
+  done
+
+let test_adapt_by_level_aggregates () =
+  let shards = 2 and width = 4 in
+  let p : int Spool.t =
+    Spool.create
+      ~policy:(`Reactive Adapt.default)
+      ~capacity:4 ~width ~shards ()
+  in
+  let levels = Spool.adapt_by_level p in
+  (* width 4 = 2 balancer levels; each level concatenates every shard's
+     controllers. *)
+  check_int "levels" 2 (List.length levels);
+  List.iteri
+    (fun depth level ->
+      check_int
+        (Printf.sprintf "depth %d controllers across %d shards" depth shards)
+        (shards * (1 lsl depth))
+        (List.length level))
+    levels
+
+(* ------------------------------------------------------------------ *)
+(* Conservation.combine                                                *)
+(* ------------------------------------------------------------------ *)
+
+let input ~enq ~deq ~residue =
+  {
+    C.enq_started = enq;
+    enq_completed = enq;
+    dequeued = deq;
+    duplicates = 0;
+    phantoms = 0;
+    residue;
+    in_flight = 0;
+  }
+
+let test_combine_sums_fields () =
+  let c =
+    C.combine
+      [
+        input ~enq:10 ~deq:7 ~residue:(Some 3);
+        input ~enq:5 ~deq:5 ~residue:(Some 0);
+      ]
+  in
+  check_int "enq_started" 15 c.C.enq_started;
+  check_int "dequeued" 12 c.C.dequeued;
+  check_bool "residue sums" true (c.C.residue = Some 3);
+  check_bool "combined audit balances" true (C.audit c).C.ok
+
+let test_combine_unknown_residue_poisons () =
+  let c =
+    C.combine
+      [ input ~enq:1 ~deq:1 ~residue:(Some 0); input ~enq:1 ~deq:1 ~residue:None ]
+  in
+  check_bool "any unknown residue makes the sum unknown" true
+    (c.C.residue = None)
+
+let test_combine_empty_is_zero () =
+  let c = C.combine [] in
+  check_int "zero ledger" 0 c.C.enq_started;
+  check_bool "empty combine audits clean" true (C.audit c).C.ok
+
+(* ------------------------------------------------------------------ *)
+(* The service workload: conservation + deterministic replay           *)
+(* ------------------------------------------------------------------ *)
+
+let small_service ~shards ~regime () =
+  W.Service.run ~seed:5 ~procs:16 ~width:2 ~shards ~sessions:400 ~regime ()
+
+let test_service_conserves () =
+  List.iter
+    (fun regime ->
+      List.iter
+        (fun shards ->
+          let p = small_service ~shards ~regime () in
+          check_bool
+            (Printf.sprintf "%s x%d whole-frontend conservation"
+               (A.name regime) shards)
+            true p.W.Service.conservation.C.ok;
+          List.iter
+            (fun (r : C.report) ->
+              check_bool "per-shard conservation" true r.C.ok)
+            p.W.Service.conservation_by_shard;
+          check_int "every request completed" p.W.Service.requests
+            p.W.Service.completed;
+          check_int "nothing left behind" 0 p.W.Service.residue)
+        [ 1; 4 ])
+    (W.Service.default_regimes ~mean_gap:200)
+
+let test_service_replays_byte_identically () =
+  let regime = A.Bursty { mean_gap = 200; burst = 8; hot_factor = 4 } in
+  let a = W.Service.format_point (small_service ~shards:4 ~regime ()) in
+  let b = W.Service.format_point (small_service ~shards:4 ~regime ()) in
+  check_string "same seed, same rendering" a b
+
+(* ------------------------------------------------------------------ *)
+(* Arrival generators (qcheck over seeds)                              *)
+(* ------------------------------------------------------------------ *)
+
+let regimes ~mean_gap =
+  [
+    A.Poisson { mean_gap };
+    A.Bursty { mean_gap; burst = 32; hot_factor = 8 };
+    A.Diurnal { mean_gap; amplitude_pct = 80; period = 100_000 };
+  ]
+
+let gaps ~seed ~stream ~count regime =
+  let g = A.create ~seed ~stream regime in
+  let now = ref 0 in
+  List.init count (fun _ ->
+      let gap = A.next_gap g ~now:!now in
+      now := !now + gap;
+      gap)
+
+let prop_arrivals_replay =
+  QCheck.Test.make ~count:30 ~name:"arrivals: same seed, same gap sequence"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, stream) ->
+      List.for_all
+        (fun regime ->
+          gaps ~seed ~stream ~count:500 regime
+          = gaps ~seed ~stream ~count:500 regime)
+        (regimes ~mean_gap:800))
+
+let prop_arrivals_mean_rate =
+  (* 5000 draws: the poisson standard error is ~1.4% of the mean and
+     the bursty one (dominated by the long exponential off-gaps) ~8%,
+     so 25% is a safe deterministic bound; the diurnal draw count
+     spans ~40 full periods, averaging the rate modulation out. *)
+  QCheck.Test.make ~count:12 ~name:"arrivals: empirical mean near nominal"
+    QCheck.(small_nat)
+    (fun seed ->
+      List.for_all
+        (fun regime ->
+          let count = 5_000 in
+          let total =
+            List.fold_left ( + ) 0 (gaps ~seed ~stream:0 ~count regime)
+          in
+          let mean = float_of_int total /. float_of_int count in
+          let nominal = A.mean_gap regime in
+          let err = Float.abs (mean -. nominal) /. nominal in
+          if err > 0.25 then
+            QCheck.Test.fail_reportf "%s: mean %.1f vs nominal %.1f (%.0f%%)"
+              (A.describe regime) mean nominal (100.0 *. err)
+          else true)
+        (regimes ~mean_gap:800))
+
+let rejects regime =
+  match A.create ~seed:1 ~stream:0 regime with
+  | exception Invalid_argument _ -> true
+  | (_ : A.t) -> false
+
+let test_arrivals_validate () =
+  check_bool "zero gap rejected" true (rejects (A.Poisson { mean_gap = 0 }));
+  check_bool "amplitude of 100% or more rejected" true
+    (rejects (A.Diurnal { mean_gap = 10; amplitude_pct = 150; period = 10 }));
+  check_bool "zero burst rejected" true
+    (rejects (A.Bursty { mean_gap = 10; burst = 0; hot_factor = 2 }));
+  List.iter
+    (fun r -> check_bool "defaults construct" true (not (rejects r)))
+    (regimes ~mean_gap:800)
+
+let test_arrivals_of_name () =
+  List.iter
+    (fun name ->
+      match A.of_name name ~mean_gap:700 with
+      | Some r ->
+          check_string "name round-trips" name (A.name r);
+          check_bool "nominal mean respected" true
+            (Float.abs (A.mean_gap r -. 700.0) < 1e-6)
+      | None -> Alcotest.failf "known name %s not constructible" name)
+    A.known_names;
+  check_bool "unknown name rejected" true
+    (A.of_name "lumpy" ~mean_gap:700 = None)
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "shard"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "hash spread" `Quick test_hash_spread;
+          Alcotest.test_case "hash seed" `Quick test_hash_seed_changes_routing;
+        ] );
+      ( "stealing",
+        [
+          Alcotest.test_case "steal moves the dequeuer" `Quick
+            test_steal_moves_dequeuer;
+          Alcotest.test_case "steal_probes 0 disables" `Quick
+            test_steal_probes_zero_disables;
+          Alcotest.test_case "stack frontend steals" `Quick
+            test_stack_steals_too;
+        ] );
+      ( "reactive",
+        [
+          Alcotest.test_case "reseeds are distinct" `Quick
+            test_reactive_reseed_distinct;
+          Alcotest.test_case "adapt_by_level aggregates shards" `Quick
+            test_adapt_by_level_aggregates;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "combine sums fields" `Quick
+            test_combine_sums_fields;
+          Alcotest.test_case "combine poisons unknown residue" `Quick
+            test_combine_unknown_residue_poisons;
+          Alcotest.test_case "combine of nothing" `Quick
+            test_combine_empty_is_zero;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "conserves across regimes and shard counts"
+            `Quick test_service_conserves;
+          Alcotest.test_case "byte-identical replay" `Quick
+            test_service_replays_byte_identically;
+        ] );
+      ( "arrivals",
+        [
+          qcheck prop_arrivals_replay;
+          qcheck prop_arrivals_mean_rate;
+          Alcotest.test_case "validation" `Quick test_arrivals_validate;
+          Alcotest.test_case "of_name" `Quick test_arrivals_of_name;
+        ] );
+    ]

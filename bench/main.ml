@@ -47,16 +47,42 @@ let progress fmt =
 let method_name make = (make ~procs:2).W.Pool_obj.name
 let counter_name make = (make ~procs:2).W.Pool_obj.cname
 
+(* Workload runs below use the library default seed; recorded in each
+   meta block so DB rows are comparable. *)
+let run_seed = 1
+
+(* Verdict failures (conservation FAILs, attribution books that don't
+   balance) collect here and turn the whole bench run's exit status
+   non-zero, so CI can't silently pass a broken quick bench. *)
+let failures : string list ref = ref []
+
+let record_failure fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "bench: FAIL %s\n%!" s;
+      failures := s :: !failures)
+    fmt
+
 (* --json: machine-readable BENCH_<experiment>.json next to the text
-   tables. *)
+   tables.  Every report carries a "meta" block from the [probe]
+   started when its experiment began — provenance, Gc cost and the
+   simulator's event/op odometer (docs/BENCHDB.md); the "# host" line
+   is rendered from the same record, so stdout and JSON cannot
+   disagree. *)
 let json_flag = ref false
 
-let emit_json ?(extra = []) ~experiment points =
+let emit_json ?(extra = []) ~experiment ~probe points =
+  let meta = R.Meta.stop probe ~experiment ~seed:run_seed in
+  progress "%s" (R.Meta.host_line meta);
   if !json_flag then begin
     let file = Printf.sprintf "BENCH_%s.json" experiment in
     R.write_json ~file
       (R.Obj
-         ([ ("experiment", R.Str experiment); ("points", R.Arr points) ]
+         ([
+            ("experiment", R.Str experiment);
+            ("meta", R.Meta.json meta);
+            ("points", R.Arr points);
+          ]
          @ extra));
     progress "wrote %s" file
   end
@@ -192,21 +218,29 @@ let traced_fig7 scale =
 
 let fig7 scale =
   print_string "== Figure 7: produce-consume, Workload = 0 ==\n\n";
+  let probe = R.Meta.start () in
   let text, json = produce_consume_tables ~races:true ~scale ~workload:0 () in
   print_string text;
   print_newline ();
   let extra =
-    if !trace_flag then
-      [ ("attribution", R.attribution_json (traced_fig7 scale)) ]
+    if !trace_flag then begin
+      let attribution = traced_fig7 scale in
+      if not (Etrace.Attribution.check attribution) then
+        record_failure "fig7: attribution books do not balance (%d/%d cycles)"
+          attribution.Etrace.Attribution.attributed_cycles
+          attribution.Etrace.Attribution.total_cycles;
+      [ ("attribution", R.attribution_json attribution) ]
+    end
     else []
   in
-  emit_json ~extra ~experiment:"fig7" json
+  emit_json ~extra ~experiment:"fig7" ~probe json
 
 let fig8 scale =
   print_string "== Figure 8: produce-consume, Workload > 0 ==\n";
   print_string
     "(the paper's exact non-zero workload constants are illegible in the\n\
     \ available text; 1000/4000/16000 preserve the reported regimes)\n\n";
+  let probe = R.Meta.start () in
   let json =
     List.concat_map
       (fun workload ->
@@ -216,7 +250,7 @@ let fig8 scale =
         json)
       [ 1_000; 4_000; 16_000 ]
   in
-  emit_json ~experiment:"fig8" json
+  emit_json ~experiment:"fig8" ~probe json
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: elimination fractions per level                            *)
@@ -255,6 +289,7 @@ let table1 scale =
 
 let fig9 scale =
   print_string "== Figure 9: counting benchmark (fetch&increment loop) ==\n\n";
+  let probe = R.Meta.start () in
   let methods = W.Methods.counting_methods in
   let columns = List.map counter_name methods in
   let series =
@@ -279,7 +314,7 @@ let fig9 scale =
     (R.table ~title:"Throughput (fetch&inc per 10^6 cycles)"
        ~row_label:"procs" ~columns rows);
   print_newline ();
-  emit_json ~experiment:"fig9"
+  emit_json ~experiment:"fig9" ~probe
     (List.concat
        (List.map2
           (fun make points ->
@@ -302,6 +337,7 @@ let fig9 scale =
 
 let fig10 scale =
   print_string "== Figure 10 (left): 10-queens job distribution ==\n\n";
+  let probe = R.Meta.start () in
   let methods = W.Methods.distribution_methods in
   let columns = List.map method_name methods in
   let counts = scale.counts in
@@ -394,7 +430,7 @@ let fig10 scale =
        ~title:"Per-element response time, p50/p90/p99 (cycles)"
        ~row_label:"procs" ~columns rt_rows);
   print_newline ();
-  emit_json ~experiment:"fig10"
+  emit_json ~experiment:"fig10" ~probe
     (queens_json
     @ List.concat
         (List.map2
@@ -451,6 +487,7 @@ let chaos scale =
   print_string
     "== Chaos: degradation under deterministic fault plans (etrees.faults) \
      ==\n\n";
+  let probe = R.Meta.start () in
   let procs = 64 and fault_seed = 7 in
   progress "chaos: procs=%d fault-seed=%d" procs fault_seed;
   let levels =
@@ -511,7 +548,17 @@ let chaos scale =
                 levels ))
           methods));
   print_newline ();
-  emit_json ~experiment:"chaos"
+  List.iter
+    (fun (level, label, points) ->
+      List.iter
+        (fun (p : W.Chaos.point) ->
+          if not p.W.Chaos.conservation.Analysis.Conservation.ok then
+            record_failure "chaos: conservation @ level %d (%s), %s: %s" level
+              label p.W.Chaos.method_name
+              p.W.Chaos.conservation.Analysis.Conservation.detail)
+        points)
+    levels;
+  emit_json ~experiment:"chaos" ~probe
     (List.concat_map
        (fun (level, label, points) ->
          List.map (chaos_point_json ~level ~label) points)
@@ -560,6 +607,7 @@ let service scale =
   print_string
     "== S1: sharded service frontend, closed-loop sessions \
      (docs/SHARDING.md) ==\n\n";
+  let probe = R.Meta.start () in
   (* Session budget by scale: the default sweep simulates >= 1M
      sessions total (6 points x 175k); quick keeps CI fast. *)
   let sessions =
@@ -625,7 +673,15 @@ let service scale =
   in
   Printf.printf "conservation (whole frontend, per shard): %s\n\n"
     (if all_ok then "PASS" else "FAIL");
-  emit_json ~experiment:"service" (List.map service_point_json points)
+  if not all_ok then
+    List.iter
+      (fun (p : W.Service.point) ->
+        if not p.W.Service.conservation.Analysis.Conservation.ok then
+          record_failure "service: conservation @ %s shards=%d: %s"
+            p.W.Service.regime_name p.W.Service.shards
+            p.W.Service.conservation.Analysis.Conservation.detail)
+      points;
+  emit_json ~experiment:"service" ~probe (List.map service_point_json points)
 
 (* ------------------------------------------------------------------ *)
 (* A1: the adaptive crossover (docs/ADAPTIVE.md)                       *)
@@ -666,6 +722,7 @@ let adapt_exp scale =
   print_string
     "== A1: reactive vs hand-tuned static elimination (docs/ADAPTIVE.md) \
      ==\n\n";
+  let probe = R.Meta.start () in
   let procs = List.fold_left max 2 scale.counts in
   (* Load falls as think time grows; trim the axis at quick scale. *)
   let workloads =
@@ -753,7 +810,7 @@ let adapt_exp scale =
      strictly best: %s\n\n"
     (if W.Adapt_sweep.saturation_ok flat then "PASS" else "FAIL")
     (if W.Adapt_sweep.low_load_ok flat then "PASS" else "FAIL");
-  emit_json ~experiment:"adapt" (List.map adapt_point_json flat)
+  emit_json ~experiment:"adapt" ~probe (List.map adapt_point_json flat)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (extensions; see EXPERIMENTS.md)                          *)
@@ -1093,7 +1150,7 @@ let native_benches () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let t_start = Sys.time () in
+  let total_probe = R.Meta.start () in
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref default_scale in
   let picked = ref [] in
@@ -1157,10 +1214,14 @@ let () =
     model scale
   end;
   if want "native" then native_benches ();
-  (* Host-side cost of the run, for BENCH_BASELINE.md: simulator
-     events/sec derive from the per-point "events" JSON fields over
-     this wall figure. *)
-  let gc = Gc.quick_stat () in
-  progress "host: %.1fs cpu, %.2e minor words, %.2e major words, %d major gcs"
-    (Sys.time () -. t_start)
-    gc.Gc.minor_words gc.Gc.major_words gc.Gc.major_collections
+  (* Whole-process cost line, from the same Report.Meta probe the JSON
+     meta blocks use (satellite 6 of docs/BENCHDB.md: one code path, so
+     stdout and JSON cannot disagree). *)
+  progress "%s"
+    (R.Meta.host_line (R.Meta.stop total_probe ~experiment:"all" ~seed:run_seed));
+  match !failures with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "bench: %d verdict failure(s):\n" (List.length fs);
+      List.iter (fun f -> Printf.eprintf "  %s\n" f) (List.rev fs);
+      exit 1

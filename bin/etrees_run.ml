@@ -926,6 +926,183 @@ let netverify_cmd =
           $(b,etrees_run check).")
     Term.(const run $ list_t $ shape_t $ seeded_t $ verbose_t $ cex_out_t)
 
+(* perf: the benchmark trajectory database (lib/benchdb,
+   docs/BENCHDB.md).  `append` folds fresh BENCH_<exp>.json reports
+   into bench/db/<exp>.jsonl; `check` is the CI regression gate;
+   `page` and `baseline` render the committed history. *)
+let perf_cmd =
+  let module Db = Benchdb.Db in
+  let module Gate = Benchdb.Gate in
+  (* The gated set: the experiments `dune build @perf` runs with
+     --quick --json.  fig8/9/10 also carry meta blocks but cost too
+     much wall clock for the per-commit gate. *)
+  let tracked = [ "fig7"; "chaos"; "adapt"; "service" ] in
+  let db_t =
+    Arg.(
+      value & opt string "bench/db"
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:"Database directory: one JSONL file per experiment.")
+  in
+  let bench_dir_t =
+    Arg.(
+      value & opt string "."
+      & info [ "bench-dir" ] ~docv:"DIR"
+          ~doc:"Directory holding fresh $(b,BENCH_<exp>.json) reports.")
+  in
+  let exp_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "exp" ] ~docv:"EXP"
+          ~doc:
+            (Printf.sprintf "Experiment (repeatable; default: %s)."
+               (String.concat ", " tracked)))
+  in
+  let pick_exps = function [] -> tracked | exps -> exps in
+  let load_report ~bench_dir exp =
+    let file = Filename.concat bench_dir (Printf.sprintf "BENCH_%s.json" exp) in
+    match Etrace.Json.parse_file file with
+    | Error e -> Error (Printf.sprintf "%s: %s" file e)
+    | Ok v ->
+        Result.map_error
+          (fun e -> Printf.sprintf "%s: %s" file e)
+          (Db.of_bench_json ~exp v)
+  in
+  let load_db ~db exp =
+    match Db.load ~db_dir:db exp with
+    | Ok runs -> runs
+    | Error e ->
+        Printf.eprintf "perf: %s\n" e;
+        exit 2
+  in
+  let append_cmd =
+    let reference_t =
+      Arg.(
+        value & flag
+        & info [ "reference" ]
+            ~doc:
+              "Mark the appended rows as the gate's reference entries \
+               (refreshing the committed baseline).")
+    in
+    let run db bench_dir exps reference =
+      List.iter
+        (fun exp ->
+          match load_report ~bench_dir exp with
+          | Error e ->
+              Printf.eprintf "perf append: %s\n" e;
+              exit 2
+          | Ok r ->
+              let r = { r with Db.reference } in
+              Db.append ~db_dir:db r;
+              Printf.printf "appended %s (%s, %d points)%s -> %s\n" exp
+                (Db.label r) r.Db.points
+                (if reference then " [reference]" else "")
+                (Db.path ~db_dir:db exp))
+        (pick_exps exps)
+    in
+    Cmd.v
+      (Cmd.info "append"
+         ~doc:
+           "Fold fresh $(b,BENCH_<exp>.json) reports into the append-only \
+            database (one JSONL row per run, newest last).")
+      Term.(const run $ db_t $ bench_dir_t $ exp_t $ reference_t)
+  in
+  let check_cmd =
+    let tight_t =
+      Arg.(
+        value & opt float Gate.default_tight_pct
+        & info [ "threshold-pct" ] ~docv:"PCT"
+            ~doc:
+              "Tight tolerance for the deterministic metrics (events, \
+               reads/writes/rmws, points, minor words/event).")
+    in
+    let loose_t =
+      Arg.(
+        value & opt float Gate.default_loose_pct
+        & info [ "loose-pct" ] ~docv:"PCT"
+            ~doc:"Loose tolerance for host-dependent events/sec.")
+    in
+    let run db bench_dir exps tight_pct loose_pct =
+      let verdicts =
+        List.map
+          (fun exp ->
+            match load_report ~bench_dir exp with
+            | Error e ->
+                Printf.eprintf "perf check: %s\n" e;
+                exit 2
+            | Ok current ->
+                let reference = Db.reference (load_db ~db exp) in
+                let v =
+                  Gate.check ~tight_pct ~loose_pct ~reference ~current ()
+                in
+                print_string (Gate.format ~exp ~tight_pct ~loose_pct v);
+                v)
+          (pick_exps exps)
+      in
+      exit (Gate.combined_exit_code verdicts)
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Regression gate: compare fresh $(b,BENCH_<exp>.json) reports \
+            against the database's reference entries.  Exits 0 on pass, 1 \
+            on regression, 3 when an experiment has no baseline yet.")
+      Term.(const run $ db_t $ bench_dir_t $ exp_t $ tight_t $ loose_t)
+  in
+  (* Provenance stamp for the rendered page, from the same probe the
+     meta blocks use. *)
+  let stamp () =
+    let m = W.Report.Meta.stop (W.Report.Meta.start ()) ~experiment:"" ~seed:0 in
+    Printf.sprintf "%s @ %s%s" m.W.Report.Meta.date m.W.Report.Meta.commit
+      (if m.W.Report.Meta.dirty then "+" else "")
+  in
+  let page_cmd =
+    let out_t =
+      Arg.(
+        value & opt string "trends.html"
+        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output HTML file.")
+    in
+    let run db exps out =
+      let sections =
+        List.map (fun exp -> (exp, load_db ~db exp)) (pick_exps exps)
+      in
+      Benchdb.Page.write ~file:out ~generated:(stamp ()) sections;
+      Printf.printf "wrote %s (%d experiments)\n" out (List.length sections)
+    in
+    Cmd.v
+      (Cmd.info "page"
+         ~doc:
+           "Render the database as a self-contained HTML trend page: SVG \
+            sparklines per metric per experiment plus a latest-vs-baseline \
+            delta table.  No scripts, no external assets.")
+      Term.(const run $ db_t $ exp_t $ out_t)
+  in
+  let baseline_cmd =
+    let out_t =
+      Arg.(
+        value & opt string "BENCH_BASELINE.md"
+        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output markdown file.")
+    in
+    let run db exps out =
+      let sections =
+        List.map (fun exp -> (exp, load_db ~db exp)) (pick_exps exps)
+      in
+      Benchdb.Baseline.write ~file:out ~db_dir:db sections;
+      Printf.printf "wrote %s (%d experiments)\n" out (List.length sections)
+    in
+    Cmd.v
+      (Cmd.info "baseline"
+         ~doc:
+           "Regenerate $(b,BENCH_BASELINE.md) from the database's reference \
+            entries, so the committed baseline is the gate's baseline.")
+      Term.(const run $ db_t $ exp_t $ out_t)
+  in
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "The benchmark trajectory database (docs/BENCHDB.md): append runs, \
+          gate regressions, render trends and the committed baseline.")
+    [ append_cmd; check_cmd; page_cmd; baseline_cmd ]
+
 let () =
   let doc = "Elimination-tree experiments on the multiprocessor simulator." in
   let info = Cmd.info "etrees_run" ~version:"1.0.0" ~doc in
@@ -943,4 +1120,5 @@ let () =
             trace_cmd;
             check_cmd;
             netverify_cmd;
+            perf_cmd;
           ]))

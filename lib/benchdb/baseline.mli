@@ -1,0 +1,11 @@
+(** Generated BENCH_BASELINE.md (docs/BENCHDB.md): rendered from the
+    database's reference entries so the committed baseline can never
+    drift from what the gate compares against. *)
+
+val render : ?db_dir:string -> (string * Db.run list) list -> string
+(** [(experiment, runs oldest-first)] — one table row per experiment's
+    reference entry.  [db_dir] only customizes the paths quoted in the
+    prose (default ["bench/db"]). *)
+
+val write :
+  file:string -> ?db_dir:string -> (string * Db.run list) list -> unit

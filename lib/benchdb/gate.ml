@@ -1,0 +1,133 @@
+(* The perf-regression gate (ci_bench's threshold rule, docs/BENCHDB.md):
+   compare a fresh run's meta block against the DB's reference entry,
+   metric by metric.
+
+   Two tolerance classes: the *deterministic* columns — point count,
+   simulated events, scheduler reads/writes/rmws (exact functions of
+   the seed) and minor words per event (exact per binary, a few percent
+   across compiler versions) — are held to the tight threshold, while
+   the wall-clock-derived events/sec only fails on a loose-threshold
+   slowdown.  Direction matters: a deterministic counter regresses by
+   *moving* (either way means the simulation changed), allocation only
+   by growing, throughput only by falling. *)
+
+type tolerance = Tight | Loose
+type direction = Both | Increase | Decrease
+
+type spec = { metric : string; tolerance : tolerance; direction : direction }
+
+let default_specs =
+  [
+    { metric = "points"; tolerance = Tight; direction = Both };
+    { metric = "events"; tolerance = Tight; direction = Both };
+    { metric = "reads"; tolerance = Tight; direction = Both };
+    { metric = "writes"; tolerance = Tight; direction = Both };
+    { metric = "rmws"; tolerance = Tight; direction = Both };
+    { metric = "minor_words_per_event"; tolerance = Tight; direction = Increase };
+    { metric = "events_per_sec"; tolerance = Loose; direction = Decrease };
+  ]
+
+let default_tight_pct = 5.0
+let default_loose_pct = 50.0
+
+type delta = {
+  d_metric : string;
+  d_tolerance : tolerance;
+  d_direction : direction;
+  d_reference : float;
+  d_current : float;
+  d_pct : float;        (** 100 * (current - reference) / reference *)
+  d_regressed : bool;
+}
+
+type verdict =
+  | Pass of delta list
+  | Regression of delta list  (** every delta, regressed ones included *)
+  | No_baseline
+
+let delta_pct ~reference ~current =
+  if reference = 0.0 then if current = 0.0 then 0.0 else Float.infinity
+  else 100.0 *. (current -. reference) /. Float.abs reference
+
+let check ?(specs = default_specs) ?(tight_pct = default_tight_pct)
+    ?(loose_pct = default_loose_pct) ~reference ~current () =
+  match reference with
+  | None -> No_baseline
+  | Some ref_run ->
+      let deltas =
+        List.filter_map
+          (fun s ->
+            match (Db.metric ref_run s.metric, Db.metric current s.metric) with
+            | Some r, Some c ->
+                let pct = delta_pct ~reference:r ~current:c in
+                let tol =
+                  match s.tolerance with
+                  | Tight -> tight_pct
+                  | Loose -> loose_pct
+                in
+                let regressed =
+                  match s.direction with
+                  | Both -> Float.abs pct > tol
+                  | Increase -> pct > tol
+                  | Decrease -> pct < -.tol
+                in
+                Some
+                  {
+                    d_metric = s.metric;
+                    d_tolerance = s.tolerance;
+                    d_direction = s.direction;
+                    d_reference = r;
+                    d_current = c;
+                    d_pct = pct;
+                    d_regressed = regressed;
+                  }
+            | _ -> None)
+          specs
+      in
+      if List.exists (fun d -> d.d_regressed) deltas then Regression deltas
+      else Pass deltas
+
+(* Exit codes in the etrees_run check style: 0 pass, 1 regression,
+   3 no baseline to compare against. *)
+let exit_code = function Pass _ -> 0 | Regression _ -> 1 | No_baseline -> 3
+
+(* Worst verdict across experiments: any regression dominates, then any
+   missing baseline, then pass. *)
+let combined_exit_code verdicts =
+  let codes = List.map exit_code verdicts in
+  if List.mem 1 codes then 1 else if List.mem 3 codes then 3 else 0
+
+let format_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let format_delta d =
+  let tol = match d.d_tolerance with Tight -> "tight" | Loose -> "loose" in
+  let dir =
+    match d.d_direction with
+    | Both -> "+/-"
+    | Increase -> "+only"
+    | Decrease -> "-only"
+  in
+  Printf.sprintf "  %-22s %14s -> %14s  %+8.2f%%  [%s %s] %s" d.d_metric
+    (format_value d.d_reference)
+    (format_value d.d_current) d.d_pct tol dir
+    (if d.d_regressed then "REGRESSION" else "ok")
+
+let format ~exp ~tight_pct ~loose_pct verdict =
+  let header tail =
+    Printf.sprintf "perf %s (tight %.1f%%, loose %.1f%%): %s" exp tight_pct
+      loose_pct tail
+  in
+  match verdict with
+  | No_baseline ->
+      header "no baseline entry in the database (run `perf append` to seed)"
+      ^ "\n"
+  | Pass deltas ->
+      header "PASS" ^ "\n" ^ String.concat "\n" (List.map format_delta deltas)
+      ^ "\n"
+  | Regression deltas ->
+      header "REGRESSION" ^ "\n"
+      ^ String.concat "\n" (List.map format_delta deltas)
+      ^ "\n"

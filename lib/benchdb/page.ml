@@ -1,0 +1,236 @@
+(* The trend page (ci_bench's generate_bench_page, docs/BENCHDB.md):
+   a single self-contained HTML file — inline CSS, inline SVG, no
+   scripts, no external fetches — rendering every experiment's
+   accumulated DB series as one sparkline per metric next to a
+   latest-vs-reference delta table.  Pure stdlib, deterministic: the
+   same database renders byte-identical HTML (the golden-fixture test
+   relies on this), so the optional [generated] stamp is the caller's.
+
+   Visual rules: one accent hue for the single-series marks, text in
+   ink/muted tokens (never the series color), recessive axis/grid, and
+   the full numbers always present in the adjacent table so nothing is
+   encoded by color alone. *)
+
+let spark_w = 150
+let spark_h = 32
+let pad = 4.0
+
+(* Metrics shown per experiment, in reading order: the gated columns
+   first (docs/BENCHDB.md), then the advisory host-cost ones. *)
+let page_metrics =
+  [
+    ("events", "simulated events");
+    ("reads", "atomic reads");
+    ("writes", "atomic writes");
+    ("rmws", "atomic rmws");
+    ("points", "report points");
+    ("minor_words_per_event", "minor words / event");
+    ("events_per_sec", "events / host second");
+    ("cpu_s", "host cpu seconds");
+    ("major_collections", "major collections");
+  ]
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    (* Group thousands so the table reads at a glance. *)
+    let s = Printf.sprintf "%.0f" v in
+    let n = String.length s in
+    let start = if n > 0 && s.[0] = '-' then 1 else 0 in
+    let buf = Buffer.create (n + n / 3) in
+    String.iteri
+      (fun i c ->
+        if i > start && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  else Printf.sprintf "%.4g" v
+
+let fmt_coord v =
+  (* Fixed decimals keep the SVG byte-stable across platforms. *)
+  Printf.sprintf "%.1f" v
+
+let escape_html s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One series -> inline SVG: a 2px accent polyline over a recessive
+   baseline, a dot on the latest run, a hollow dot on the reference. *)
+let sparkline ?(ref_index = -1) values =
+  match values with
+  | [] | [ _ ] ->
+      (* One run is a point, not a trend. *)
+      let cy = float_of_int spark_h /. 2.0 in
+      Printf.sprintf
+        "<svg class=\"spark\" width=\"%d\" height=\"%d\" role=\"img\" \
+         aria-label=\"single run\"><circle cx=\"%s\" cy=\"%s\" r=\"2.5\" \
+         fill=\"#2563eb\"/></svg>"
+        spark_w spark_h
+        (fmt_coord (float_of_int spark_w -. pad))
+        (fmt_coord cy)
+  | values ->
+      let n = List.length values in
+      let lo = List.fold_left min infinity values in
+      let hi = List.fold_left max neg_infinity values in
+      let x i =
+        pad
+        +. float_of_int i
+           *. (float_of_int spark_w -. (2.0 *. pad))
+           /. float_of_int (n - 1)
+      in
+      let y v =
+        if hi = lo then float_of_int spark_h /. 2.0
+        else
+          pad
+          +. (hi -. v) /. (hi -. lo) *. (float_of_int spark_h -. (2.0 *. pad))
+      in
+      let pts =
+        String.concat " "
+          (List.mapi
+             (fun i v -> fmt_coord (x i) ^ "," ^ fmt_coord (y v))
+             values)
+      in
+      let dot i v extra =
+        Printf.sprintf
+          "<circle cx=\"%s\" cy=\"%s\" r=\"2.5\" %s/>"
+          (fmt_coord (x i)) (fmt_coord (y v)) extra
+      in
+      let last_i = n - 1 in
+      let last_v = List.nth values last_i in
+      let ref_dot =
+        if ref_index >= 0 && ref_index < n && ref_index <> last_i then
+          dot ref_index
+            (List.nth values ref_index)
+            "fill=\"#ffffff\" stroke=\"#6b7280\" stroke-width=\"1.5\""
+        else ""
+      in
+      Printf.sprintf
+        "<svg class=\"spark\" width=\"%d\" height=\"%d\" role=\"img\" \
+         aria-label=\"%d runs, %s to %s\"><polyline points=\"%s\" \
+         fill=\"none\" stroke=\"#2563eb\" stroke-width=\"2\" \
+         stroke-linejoin=\"round\" stroke-linecap=\"round\"/>%s%s</svg>"
+        spark_w spark_h n
+        (escape_html (fmt_value lo))
+        (escape_html (fmt_value hi))
+        pts ref_dot
+        (dot last_i last_v "fill=\"#2563eb\"")
+
+let css =
+  {|:root { color-scheme: light; }
+body { font: 14px/1.45 system-ui, sans-serif; color: #1f2937;
+       background: #ffffff; margin: 2rem auto; max-width: 72rem;
+       padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+p.note { color: #6b7280; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: right; padding: 0.3rem 0.75rem;
+         border-bottom: 1px solid #e5e7eb; font-variant-numeric: tabular-nums; }
+th { color: #6b7280; font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+td.spark-cell { text-align: center; }
+td.delta { white-space: nowrap; }
+.gated { color: #1f2937; } .advisory { color: #6b7280; }
+.runs { color: #6b7280; font-size: 0.85rem; }
+svg.spark { vertical-align: middle; }|}
+
+let metric_row ~runs ~ref_index ~ref_run ~latest (name, label_text) =
+  let values = List.filter_map (fun r -> Db.metric r name) runs in
+  let cell v =
+    match v with None -> "&mdash;" | Some v -> escape_html (fmt_value v)
+  in
+  let delta =
+    match (Db.metric ref_run name, Db.metric latest name) with
+    | Some r, Some c ->
+        let pct = Gate.delta_pct ~reference:r ~current:c in
+        if Float.is_finite pct then Printf.sprintf "%+.2f%%" pct else "n/a"
+    | _ -> "&mdash;"
+  in
+  let gated =
+    List.exists (fun (s : Gate.spec) -> s.Gate.metric = name) Gate.default_specs
+  in
+  Printf.sprintf
+    "<tr class=\"%s\"><td>%s</td><td class=\"spark-cell\">%s</td>\
+     <td>%s</td><td>%s</td><td class=\"delta\">%s</td></tr>"
+    (if gated then "gated" else "advisory")
+    (escape_html label_text)
+    (sparkline ~ref_index values)
+    (cell (Db.metric ref_run name))
+    (cell (Db.metric latest name))
+    delta
+
+let experiment_section (exp, runs) =
+  match (Db.reference runs, Db.latest runs) with
+  | None, _ | _, None ->
+      Printf.sprintf
+        "<h2>%s</h2>\n<p class=\"note\">no runs in the database yet</p>"
+        (escape_html exp)
+  | Some ref_run, Some latest ->
+      let ref_index =
+        let rec find i = function
+          | [] -> -1
+          | r :: rest -> if r == ref_run then i else find (i + 1) rest
+        in
+        find 0 runs
+      in
+      let rows =
+        List.map
+          (metric_row ~runs ~ref_index ~ref_run ~latest)
+          page_metrics
+      in
+      Printf.sprintf
+        "<h2>%s</h2>\n\
+         <p class=\"runs\">%d runs; reference %s; latest %s</p>\n\
+         <table>\n\
+         <tr><th>metric</th><th>trend (oldest&rarr;newest)</th>\
+         <th>reference</th><th>latest</th><th>&Delta; latest vs \
+         reference</th></tr>\n\
+         %s\n\
+         </table>"
+        (escape_html exp) (List.length runs)
+        (escape_html (Db.label ref_run))
+        (escape_html (Db.label latest))
+        (String.concat "\n" rows)
+
+let render ?generated experiments =
+  let header =
+    Printf.sprintf
+      "<h1>etrees &mdash; benchmark trends</h1>\n\
+       <p class=\"note\">One row per metric, one point per recorded run \
+       (oldest to newest) from the append-only bench database \
+       (docs/BENCHDB.md).  The hollow dot marks the gate's reference \
+       entry, the filled dot the latest run.  Deterministic metrics are \
+       gated tight; host-time metrics are advisory (muted rows).%s</p>"
+      (match generated with
+      | None -> ""
+      | Some g -> Printf.sprintf "  Generated %s." (escape_html g))
+  in
+  Printf.sprintf
+    "<!doctype html>\n\
+     <html lang=\"en\">\n\
+     <head>\n\
+     <meta charset=\"utf-8\">\n\
+     <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+     <title>etrees benchmark trends</title>\n\
+     <style>%s</style>\n\
+     </head>\n\
+     <body>\n\
+     %s\n\
+     %s\n\
+     </body>\n\
+     </html>\n"
+    css header
+    (String.concat "\n" (List.map experiment_section experiments))
+
+let write ~file ?generated experiments =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?generated experiments))

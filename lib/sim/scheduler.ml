@@ -298,6 +298,15 @@ let start t p body =
     Etrace.emit (Etrace.Event.Proc_start { pid = p; time = t.clock });
   match_with body p handler
 
+(* Process-cumulative counters across every completed [run] — the
+   deterministic odometer the benchmark meta probe (Report.Meta) reads
+   around each experiment.  Updated once per run, on the normal return
+   path, so the hot loop pays nothing. *)
+type totals = { t_events : int; t_reads : int; t_writes : int; t_rmws : int }
+
+let grand = ref { t_events = 0; t_reads = 0; t_writes = 0; t_rmws = 0 }
+let totals () = !grand
+
 (* Run [procs] simulated processors, each executing [body pid], until
    every processor terminates or the clock passes [abort_after] (at which
    point the remaining processors are unwound with {!Aborted}).  With an
@@ -465,6 +474,13 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
   in
   (match controller with Some c -> ctl_loop c | None -> loop ());
   assert (t.live = 0);
+  grand :=
+    {
+      t_events = !grand.t_events + t.events_fired;
+      t_reads = !grand.t_reads + t.op_reads;
+      t_writes = !grand.t_writes + t.op_writes;
+      t_rmws = !grand.t_rmws + t.op_rmws;
+    };
   {
     end_clock = t.clock;
     events_fired = t.events_fired;

@@ -135,6 +135,14 @@ type stats = {
 val the_sched : unit -> t
 (** The running scheduler; raises [Failure] outside a run. *)
 
+type totals = { t_events : int; t_reads : int; t_writes : int; t_rmws : int }
+(** Process-cumulative counters summed over every completed {!run} in
+    this process — the deterministic odometer the benchmark meta probe
+    snapshots around each experiment (docs/BENCHDB.md).  Runs that end
+    abnormally (an escaping exception) are not counted. *)
+
+val totals : unit -> totals
+
 val run :
   ?seed:int ->
   ?config:Memory.config ->

@@ -42,6 +42,18 @@ type stats = Scheduler.stats = {
       (** cycles serialized ops spent queueing behind busy locations *)
 }
 
+type totals = Scheduler.totals = {
+  t_events : int;  (** events fired, summed over completed runs *)
+  t_reads : int;
+  t_writes : int;
+  t_rmws : int;
+}
+
+let totals = Scheduler.totals
+(** Process-cumulative {!stats} counters over every completed {!run} —
+    the deterministic odometer benchmark meta probes snapshot around
+    each experiment (docs/BENCHDB.md). *)
+
 exception Aborted = Scheduler.Aborted
 
 let run = Scheduler.run

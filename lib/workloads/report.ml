@@ -205,3 +205,136 @@ let write_json ~file j =
     (fun () ->
       output_string oc (json_to_string j);
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Meta: the per-run provenance + cost probe (docs/BENCHDB.md)         *)
+(* ------------------------------------------------------------------ *)
+
+module Meta = struct
+  (* One snapshot pair around a benchmark run, turned into the "meta"
+     block of BENCH_<exp>.json and the "# host:" stdout line — the same
+     record feeds both, so they can never disagree.  The deterministic
+     columns (events, reads/writes/rmws, minor words per event) are
+     what the perf-regression gate (lib/benchdb) compares; wall-clock
+     derived columns (cpu_s, events_per_sec) are recorded but noisy. *)
+
+  (* First line of a command's stdout, via the stdlib only (the image
+     carries no process library below bin/).  Failure is data here:
+     provenance degrades to "unknown", never to an exception. *)
+  let command_line cmd =
+    let tmp = Filename.temp_file "etrees_meta" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let status =
+          try Sys.command (Printf.sprintf "%s > %s 2> /dev/null" cmd tmp)
+          with Sys_error _ -> 127
+        in
+        if status <> 0 then None
+        else
+          match In_channel.with_open_text tmp In_channel.input_line with
+          | Some "" | None -> None
+          | some -> some
+          | exception Sys_error _ -> None)
+
+  let commit_info =
+    lazy
+      (match command_line "git rev-parse --short HEAD" with
+      | None -> ("unknown", false)
+      | Some sha ->
+          (sha, command_line "git status --porcelain --untracked-files=no"
+                <> None))
+
+  let date =
+    lazy
+      (match command_line "date -u +%Y-%m-%d" with
+      | Some d -> d
+      | None -> "unknown")
+
+  let toolchain =
+    Printf.sprintf "ocaml-%s/%d-bit" Sys.ocaml_version Sys.word_size
+
+  type t = {
+    experiment : string;
+    seed : int;
+    date : string;
+    commit : string;
+    dirty : bool;
+    toolchain : string;
+    events : int;
+    reads : int;
+    writes : int;
+    rmws : int;
+    cpu_s : float;
+    minor_words : float;
+    major_words : float;
+    major_collections : int;
+    events_per_sec : float;
+    minor_words_per_event : float;
+  }
+
+  type probe = { p_cpu : float; p_gc : Gc.stat; p_totals : Sim.totals }
+
+  let start () =
+    { p_cpu = Sys.time (); p_gc = Gc.quick_stat (); p_totals = Sim.totals () }
+
+  let stop probe ~experiment ~seed =
+    let gc = Gc.quick_stat () and totals = Sim.totals () in
+    let events = totals.Sim.t_events - probe.p_totals.Sim.t_events in
+    let cpu_s = Sys.time () -. probe.p_cpu in
+    let minor_words = gc.Gc.minor_words -. probe.p_gc.Gc.minor_words in
+    let commit, dirty = Lazy.force commit_info in
+    {
+      experiment;
+      seed;
+      date = Lazy.force date;
+      commit;
+      dirty;
+      toolchain;
+      events;
+      reads = totals.Sim.t_reads - probe.p_totals.Sim.t_reads;
+      writes = totals.Sim.t_writes - probe.p_totals.Sim.t_writes;
+      rmws = totals.Sim.t_rmws - probe.p_totals.Sim.t_rmws;
+      cpu_s;
+      minor_words;
+      major_words = gc.Gc.major_words -. probe.p_gc.Gc.major_words;
+      major_collections =
+        gc.Gc.major_collections - probe.p_gc.Gc.major_collections;
+      events_per_sec =
+        (if cpu_s > 0.0 then float_of_int events /. cpu_s else 0.0);
+      minor_words_per_event =
+        (if events > 0 then minor_words /. float_of_int events else 0.0);
+    }
+
+  let json m =
+    Obj
+      [
+        ("experiment", Str m.experiment);
+        ("seed", Int m.seed);
+        ("date", Str m.date);
+        ("commit", Str m.commit);
+        ("dirty", Bool m.dirty);
+        ("toolchain", Str m.toolchain);
+        ("events", Int m.events);
+        ("reads", Int m.reads);
+        ("writes", Int m.writes);
+        ("rmws", Int m.rmws);
+        ("cpu_s", Float m.cpu_s);
+        ("minor_words", Float m.minor_words);
+        ("major_words", Float m.major_words);
+        ("major_collections", Int m.major_collections);
+        ("events_per_sec", Float m.events_per_sec);
+        ("minor_words_per_event", Float m.minor_words_per_event);
+      ]
+
+  let host_line m =
+    Printf.sprintf
+      "host %s: %.1fs cpu, %d events (%.2fM events/s), %d ops \
+       (%dr/%dw/%drmw), %.1f minor words/event, %.2e major words, %d major \
+       gcs"
+      m.experiment m.cpu_s m.events
+      (m.events_per_sec /. 1e6)
+      (m.reads + m.writes + m.rmws)
+      m.reads m.writes m.rmws m.minor_words_per_event m.major_words
+      m.major_collections
+end

@@ -51,3 +51,42 @@ val attribution_table : title:string -> Etrace.Attribution.summary -> string
     total simulated cycles. *)
 
 val attribution_json : Etrace.Attribution.summary -> json
+
+(** {2 Meta: the per-run provenance + cost probe}
+
+    Snapshots host cost ([Sys.time], [Gc.quick_stat]) and the
+    simulator's cumulative event/op odometer ({!Sim.totals}) around a
+    benchmark run, yielding the ["meta"] block every [BENCH_<exp>.json]
+    carries and the ["# host ..."] stdout line — both rendered from the
+    same record, so they can never disagree.  The deterministic columns
+    (events, reads/writes/rmws, minor words per event) are the ones the
+    perf-regression gate compares (docs/BENCHDB.md); wall-clock columns
+    are recorded but advisory. *)
+
+module Meta : sig
+  type t = {
+    experiment : string;
+    seed : int;
+    date : string;      (** UTC [YYYY-MM-DD]; ["unknown"] off-host *)
+    commit : string;    (** short SHA; ["unknown"] outside a checkout *)
+    dirty : bool;       (** tracked files modified at run time *)
+    toolchain : string; (** e.g. ["ocaml-5.1.1/64-bit"] *)
+    events : int;       (** simulated events fired during the run *)
+    reads : int;
+    writes : int;
+    rmws : int;
+    cpu_s : float;      (** host CPU seconds (advisory) *)
+    minor_words : float;
+    major_words : float;
+    major_collections : int;
+    events_per_sec : float;         (** derived; 0 when cpu_s = 0 *)
+    minor_words_per_event : float;  (** derived; 0 when events = 0 *)
+  }
+
+  type probe
+
+  val start : unit -> probe
+  val stop : probe -> experiment:string -> seed:int -> t
+  val json : t -> json
+  val host_line : t -> string
+end

@@ -26,10 +26,13 @@ let check_bool = Alcotest.(check bool)
 let procs = 256
 let horizon = 20_000
 
-let write_and_parse ~experiment points =
+let write_and_parse_report ?meta ~experiment points =
   let file = Filename.temp_file ("bench_" ^ experiment) ".json" in
   R.write_json ~file
-    (R.Obj [ ("experiment", R.Str experiment); ("points", R.Arr points) ]);
+    (R.Obj
+       ([ ("experiment", R.Str experiment) ]
+       @ (match meta with Some m -> [ ("meta", m) ] | None -> [])
+       @ [ ("points", R.Arr points) ]));
   let v =
     match J.parse_file file with
     | Ok v -> v
@@ -38,6 +41,10 @@ let write_and_parse ~experiment points =
   Sys.remove file;
   check_bool "experiment tag round-trips" true
     (Option.bind (J.member "experiment" v) J.to_str = Some experiment);
+  v
+
+let write_and_parse ~experiment points =
+  let v = write_and_parse_report ~experiment points in
   Option.get (Option.bind (J.member "points" v) J.to_list)
 
 let field_int p name = Option.get (Option.bind (J.member name p) J.to_int)
@@ -194,6 +201,102 @@ let test_service_shape () =
     (Printf.sprintf "sharding scales the saturated frontend (%d -> %d)" t1 t8)
     true (t8 > t1)
 
+(* ------------------------------------------------------------------ *)
+(* Meta blocks: the BENCH_<exp>.json provenance/cost header            *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact path bench/main.ml takes: a Report.Meta probe around the
+   workload, its json block embedded in the report, the file re-read
+   with Etrace.Json and held against the benchdb schema — the contract
+   `etrees_run perf append` enforces before a row enters the DB. *)
+let meta_shape ~experiment ~reparsed meta_value =
+  check_bool
+    (Printf.sprintf "BENCH_%s.json meta validates against the schema"
+       experiment)
+    true
+    (match Benchdb.Db.validate_meta meta_value with
+    | Ok () -> true
+    | Error e -> Alcotest.failf "meta schema: %s" e);
+  let int_f name =
+    Option.get (Option.bind (J.member name meta_value) J.to_int)
+  in
+  let num_f name =
+    Option.get (Option.bind (J.member name meta_value) J.to_num)
+  in
+  let str_f name =
+    Option.get (Option.bind (J.member name meta_value) J.to_str)
+  in
+  check_bool "meta experiment tag matches" true
+    (str_f "experiment" = experiment);
+  check_bool "toolchain carries the compiler version" true
+    (String.length (str_f "toolchain") >= 6
+    && String.sub (str_f "toolchain") 0 6 = "ocaml-");
+  check_bool "the probe saw the run's simulated events" true
+    (int_f "events" > 0);
+  check_bool "ops split into reads/writes/rmws" true
+    (int_f "reads" > 0 && int_f "writes" > 0 && int_f "rmws" >= 0);
+  (* Derived columns are consistent with their inputs after the float
+     round trip (write_json prints %.6g). *)
+  let close a b = Float.abs (a -. b) <= 0.01 *. Float.abs b +. 1e-6 in
+  check_bool "minor_words_per_event = minor_words / events" true
+    (close (num_f "minor_words_per_event")
+       (num_f "minor_words" /. float_of_int (int_f "events")));
+  check_bool "events_per_sec consistent with cpu_s" true
+    (num_f "cpu_s" = 0.0
+    || close (num_f "events_per_sec")
+         (float_of_int (int_f "events") /. num_f "cpu_s"));
+  (* The whole report, meta included, folds into one DB row. *)
+  match Benchdb.Db.of_bench_json ~exp:experiment reparsed with
+  | Ok row ->
+      check_bool "DB row keeps the point count" true (row.Benchdb.Db.points > 0)
+  | Error e -> Alcotest.failf "of_bench_json: %s" e
+
+let test_chaos_meta_shape () =
+  let probe = R.Meta.start () in
+  let p =
+    W.Chaos.run ~seed:3 ~horizon:5_000 ~plan:Faults.Fault_plan.none ~procs:16
+      (fun ~procs -> W.Methods.etree_pool ~procs ())
+  in
+  let meta = R.Meta.json (R.Meta.stop probe ~experiment:"chaos" ~seed:3) in
+  let point =
+    R.Obj
+      [
+        ("method", R.Str p.W.Chaos.method_name);
+        ("procs", R.Int p.W.Chaos.procs);
+        ("throughput_per_m", R.Int p.W.Chaos.throughput_per_m);
+        ( "conservation_ok",
+          R.Bool p.W.Chaos.conservation.Analysis.Conservation.ok );
+      ]
+  in
+  let reparsed = write_and_parse_report ~meta ~experiment:"chaos" [ point ] in
+  check_bool "fault-free chaos point conserves tokens" true
+    p.W.Chaos.conservation.Analysis.Conservation.ok;
+  meta_shape ~experiment:"chaos" ~reparsed
+    (Option.get (J.member "meta" reparsed))
+
+let test_adapt_meta_shape () =
+  let probe = R.Meta.start () in
+  let specs = W.Adapt_sweep.methods () in
+  let series =
+    W.Adapt_sweep.sweep ~seed:3 ~horizon:5_000 ~workloads:[ 0 ] ~procs:16
+      specs
+  in
+  let meta = R.Meta.json (R.Meta.stop probe ~experiment:"adapt" ~seed:3) in
+  let points =
+    List.map
+      (fun (p : W.Adapt_sweep.point) ->
+        R.Obj
+          [
+            ("method", R.Str p.method_name);
+            ("workload", R.Int p.workload);
+            ("throughput_per_m", R.Int p.throughput_per_m);
+          ])
+      (List.concat series)
+  in
+  let reparsed = write_and_parse_report ~meta ~experiment:"adapt" points in
+  meta_shape ~experiment:"adapt" ~reparsed
+    (Option.get (J.member "meta" reparsed))
+
 let () =
   Alcotest.run "bench_shapes"
     [
@@ -204,5 +307,12 @@ let () =
           Alcotest.test_case "A1: adaptive crossover" `Quick test_adapt_shape;
           Alcotest.test_case "S1: service frontend scales with shards" `Quick
             test_service_shape;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "chaos: meta block shape" `Quick
+            test_chaos_meta_shape;
+          Alcotest.test_case "adapt: meta block shape" `Quick
+            test_adapt_meta_shape;
         ] );
     ]

@@ -18,7 +18,7 @@
    any violation survives the allowlist or any entry is stale, 2 on
    parse/usage errors. *)
 
-let usage = "etrees_lint [--allowlist FILE] [--json FILE] PATH..."
+let usage = "etrees_lint [--only RULE] [--allowlist FILE] [--json FILE] PATH..."
 
 let rec ml_files_under path =
   if Sys.is_directory path then
@@ -30,9 +30,20 @@ let rec ml_files_under path =
 let () =
   let allowlist_file = ref None in
   let json_file = ref None in
+  let only = ref None in
   let paths = ref [] in
   Arg.parse
     [
+      ( "--only",
+        Arg.String
+          (fun r ->
+            match Analysis.Lint_rules.rule_of_name r with
+            | Some rule -> only := Some rule
+            | None ->
+                Printf.eprintf "etrees_lint: unknown rule %S\n" r;
+                exit 2),
+        "RULE Restrict the run to one rule (e.g. nondet); allowlist \
+         stale-entry checking applies to that rule alone" );
       ( "--allowlist",
         Arg.String (fun f -> allowlist_file := Some f),
         "FILE Allowlist of deliberate exceptions (path rule pairs)" );
@@ -58,6 +69,8 @@ let () =
     in
     let violations =
       List.concat_map Analysis.Lint_rules.scan_file files
+      |> List.filter (fun (v : Analysis.Lint_rules.violation) ->
+             match !only with None -> true | Some r -> v.rule = r)
       |> List.sort_uniq
            (fun (a : Analysis.Lint_rules.violation)
                 (b : Analysis.Lint_rules.violation) ->

@@ -34,6 +34,7 @@ type rule =
   | Atomic_use    (* direct Atomic.* *)
   | Mutable_field (* mutable field declaration *)
   | Sim_bypass    (* direct Sim/Memory/Scheduler mention *)
+  | Nondet        (* host clock / OS randomness / unseeded hashing *)
 
 let rule_name = function
   | Ref_cell -> "ref"
@@ -42,6 +43,7 @@ let rule_name = function
   | Atomic_use -> "atomic"
   | Mutable_field -> "mutable-field"
   | Sim_bypass -> "sim-bypass"
+  | Nondet -> "nondet"
 
 let rule_of_name = function
   | "ref" -> Some Ref_cell
@@ -50,6 +52,7 @@ let rule_of_name = function
   | "atomic" -> Some Atomic_use
   | "mutable-field" -> Some Mutable_field
   | "sim-bypass" -> Some Sim_bypass
+  | "nondet" -> Some Nondet
   | _ -> None
 
 type violation = {
@@ -84,6 +87,18 @@ let array_mutators =
 let sim_internal_modules =
   [ "Sim"; "Memory"; "Scheduler"; "Engine_impl"; "Event_heap" ]
 
+(* Host nondeterminism (rule [nondet]): wall-clock, OS randomness and
+   unseeded hashing make a run a function of the host instead of the
+   seed, which silently breaks replay, the golden perf metrics, and the
+   model checker's assumption that re-execution is exact.  Randomness
+   must come from the engine's seeded Splitmix streams and time from
+   [E.now]; the rare host probes (the native engine's clock, the
+   report's CPU-cost meta block) live in the committed
+   lib/analysis/nondet_allowlist.txt with justifications. *)
+let nondet_time_fns = [ ("Sys", "time"); ("Unix", "time"); ("Unix", "gettimeofday") ]
+
+let nondet_hash_fns = [ "hash"; "seeded_hash"; "hash_param"; "randomize" ]
+
 let rec longident_head = function
   | Longident.Lident s -> s
   | Longident.Ldot (l, _) -> longident_head l
@@ -112,6 +127,25 @@ let classify_ident (lid : Longident.t) : (rule * string) option =
             "`%s.%s` mutates an array outside the engine; shared arrays must \
              hold E.cell elements"
             m f )
+  | Ldot (Lident m, f) when List.mem (m, f) nondet_time_fns ->
+      Some
+        ( Nondet,
+          Printf.sprintf
+            "`%s.%s` reads the host clock; simulated time must come from the \
+             engine (E.now), so runs stay deterministic functions of the seed"
+            m f )
+  | Ldot (Lident "Hashtbl", f) when List.mem f nondet_hash_fns ->
+      Some
+        ( Nondet,
+          Printf.sprintf
+            "`Hashtbl.%s` hashes with host-varying state; derive keys from \
+             the engine's seeded Splitmix streams instead"
+            f )
+  | lid when longident_head lid = "Random" ->
+      Some
+        ( Nondet,
+          "`Random` draws OS-seeded randomness; use the engine's seeded \
+           Splitmix streams so runs replay exactly" )
   | lid when longident_head lid = "Atomic" ->
       Some
         ( Atomic_use,

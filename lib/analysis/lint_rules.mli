@@ -16,6 +16,10 @@ type rule =
       (** naming [Sim]/[Memory]/[Scheduler]/[Engine_impl]/[Event_heap]
           from engine-parametric code: the simulator must only be
           reached through the [Engine.S] functor parameter *)
+  | Nondet
+      (** [Sys.time]/[Unix.gettimeofday]/[Random.*]/[Hashtbl.hash]:
+          host nondeterminism outside the engine's seeded streams
+          breaks seed-exact replay *)
 
 val rule_name : rule -> string
 val rule_of_name : string -> rule option

@@ -3,7 +3,15 @@
    Keys are [(time, seq)] pairs compared lexicographically: [seq] is a
    strictly increasing insertion counter, so events scheduled for the
    same simulated instant fire in insertion order.  That tie-break makes
-   whole simulations deterministic functions of the seed. *)
+   whole simulations deterministic functions of the seed.
+
+   This module is on the per-event hot path of every simulation, so it
+   is written to allocate nothing beyond the entry record itself (one
+   block per push): the sift loops are top-level functions rather than
+   closures, and the main scheduler loop reads [min_time]/[pop_min]
+   instead of the option-and-tuple [pop] (kept for drain and tests).
+   The @allocheck census certifies this — see
+   lib/analysis/alloc_budget.txt. *)
 
 type 'a entry = { time : int; seq : int; payload : 'a }
 
@@ -26,49 +34,60 @@ let grow t entry =
     t.a <- a'
   end
 
+let rec sift_up a i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt a.(i) a.(parent) then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(parent);
+      a.(parent) <- tmp;
+      sift_up a parent
+    end
+  end
+
+let rec sift_down a n i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let s = if l < n && lt a.(l) a.(i) then l else i in
+  let s = if r < n && lt a.(r) a.(s) then r else s in
+  if s <> i then begin
+    let tmp = a.(i) in
+    a.(i) <- a.(s);
+    a.(s) <- tmp;
+    sift_down a n s
+  end
+
 let push t ~time ~seq payload =
   let entry = { time; seq; payload } in
   grow t entry;
   t.a.(t.n) <- entry;
   t.n <- t.n + 1;
-  (* Sift up. *)
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if lt t.a.(i) t.a.(parent) then begin
-        let tmp = t.a.(i) in
-        t.a.(i) <- t.a.(parent);
-        t.a.(parent) <- tmp;
-        up parent
-      end
-    end
-  in
-  up (t.n - 1)
+  sift_up t.a (t.n - 1)
+
+(* Remove the root entry.  The popped record is returned as-is (it was
+   allocated at push time), so neither zero-alloc accessor below
+   allocates. *)
+let remove_top t =
+  let top = t.a.(0) in
+  t.n <- t.n - 1;
+  if t.n > 0 then begin
+    t.a.(0) <- t.a.(t.n);
+    sift_down t.a t.n 0
+  end;
+  top
+
+let min_time t =
+  if t.n = 0 then invalid_arg "Event_heap.min_time: empty heap";
+  t.a.(0).time
+
+let pop_min t =
+  if t.n = 0 then invalid_arg "Event_heap.pop_min: empty heap";
+  (remove_top t).payload
 
 let pop t =
   if t.n = 0 then None
-  else begin
-    let top = t.a.(0) in
-    t.n <- t.n - 1;
-    if t.n > 0 then begin
-      t.a.(0) <- t.a.(t.n);
-      (* Sift down. *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let smallest = ref i in
-        if l < t.n && lt t.a.(l) t.a.(!smallest) then smallest := l;
-        if r < t.n && lt t.a.(r) t.a.(!smallest) then smallest := r;
-        if !smallest <> i then begin
-          let tmp = t.a.(i) in
-          t.a.(i) <- t.a.(!smallest);
-          t.a.(!smallest) <- tmp;
-          down !smallest
-        end
-      in
-      down 0
-    end;
+  else
+    let top = remove_top t in
     Some (top.time, top.seq, top.payload)
-  end
 
 (* Drain remaining events in key order (used when aborting a run). *)
 let drain t f =

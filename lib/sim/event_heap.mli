@@ -17,6 +17,16 @@ val push : 'a t -> time:int -> seq:int -> 'a -> unit
 val pop : 'a t -> (int * int * 'a) option
 (** Remove and return the least [(time, seq, payload)]. *)
 
+val min_time : 'a t -> int
+(** The least entry's [time], without removing it.  No allocation; the
+    scheduler's step loop pairs it with {!pop_min} instead of paying
+    {!pop}'s option-and-tuple per event.  Raises [Invalid_argument] on
+    an empty heap. *)
+
+val pop_min : 'a t -> 'a
+(** Remove the least entry and return its payload alone (no
+    allocation).  Raises [Invalid_argument] on an empty heap. *)
+
 val drain : 'a t -> (int -> int -> 'a -> unit) -> unit
 (** [drain t f] pops every remaining event in key order, applying [f];
     events pushed by [f] itself are drained too. *)

@@ -209,10 +209,16 @@ let start t p body =
                   let loc_id =
                     match loc with Some l -> l.Memory.id | None -> -1
                   in
+                  (* The access descriptor only feeds the controller's
+                     scheduling decision; skip the per-read record and
+                     option allocation on ordinary runs. *)
                   let access =
-                    match loc with
-                    | Some l -> Some { acc_loc = l; acc_kind = Acc_read }
+                    match t.controller with
                     | None -> None
+                    | Some _ -> (
+                        match loc with
+                        | Some l -> Some { acc_loc = l; acc_kind = Acc_read }
+                        | None -> None)
                   in
                   park t ~access (t.clock + latency)
                     {
@@ -258,16 +264,21 @@ let start t p body =
                   Memory.issue_stamp loc ~pid:t.current ~begins ~finish;
                   loc.Memory.busy_until <- finish;
                   let issued = t.clock in
+                  (* Controller-only, as above: ordinary runs never read
+                     the descriptor, so don't allocate it per op. *)
                   let access =
-                    Some
-                      {
-                        acc_loc = loc;
-                        acc_kind =
-                          (match kind with
-                          | Etrace.Event.Read -> Acc_read
-                          | Etrace.Event.Write -> Acc_write
-                          | Etrace.Event.Rmw -> Acc_rmw);
-                      }
+                    match t.controller with
+                    | None -> None
+                    | Some _ ->
+                        Some
+                          {
+                            acc_loc = loc;
+                            acc_kind =
+                              (match kind with
+                              | Etrace.Event.Read -> Acc_read
+                              | Etrace.Event.Write -> Acc_write
+                              | Etrace.Event.Rmw -> Acc_rmw);
+                          }
                   in
                   park t ~access finish
                     {
@@ -430,47 +441,50 @@ let run ?(seed = 0x5eed) ?(config = Memory.default_config) ?abort_after
     in
     step ()
   in
+  (* The step loop pairs [min_time] with [pop_min] instead of [pop]:
+     no option, no tuple, zero allocation per event (@allocheck). *)
   let rec loop () =
-    match Event_heap.pop t.heap with
-    | None -> ()
-    | Some (time, _seq, ev) ->
-        if time > horizon then begin
-          ev.abort ();
-          Event_heap.drain t.heap (fun _ _ ev -> ev.abort ())
-        end
-        else begin
-          let action =
-            match t.injector with
-            | None -> Fault_proceed
-            | Some inj -> inj.on_event ~pid:ev.pid ~time
-          in
-          (match action with
-          | Fault_proceed ->
-              t.clock <- time;
-              t.events_fired <- t.events_fired + 1;
-              ev.fire ()
-          | Fault_defer until ->
-              t.fault_defers <- t.fault_defers + 1;
-              let until = if until <= time then time + 1 else until in
-              if Etrace.on Etrace.lv_ops then
-                Etrace.emit
-                  (Etrace.Event.Fault_stall { pid = ev.pid; time; until });
-              schedule t until ev
-          | Fault_drop ->
-              (* Crash-stop: the processor's sole pending event dies and
-                 with it the processor; the continuation is dropped
-                 unresumed, so no cleanup handlers run. *)
-              t.clock <- time;
-              t.live <- t.live - 1;
-              t.crashed <- t.crashed + 1;
-              if Etrace.on Etrace.lv_ops then begin
-                Etrace.emit (Etrace.Event.Fault_crash { pid = ev.pid; time });
-                Etrace.emit
-                  (Etrace.Event.Proc_end
-                     { pid = ev.pid; time; reason = Etrace.Event.Crashed })
-              end);
-          loop ()
-        end
+    if not (Event_heap.is_empty t.heap) then begin
+      let time = Event_heap.min_time t.heap in
+      let ev = Event_heap.pop_min t.heap in
+      if time > horizon then begin
+        ev.abort ();
+        Event_heap.drain t.heap (fun _ _ ev -> ev.abort ())
+      end
+      else begin
+        let action =
+          match t.injector with
+          | None -> Fault_proceed
+          | Some inj -> inj.on_event ~pid:ev.pid ~time
+        in
+        (match action with
+        | Fault_proceed ->
+            t.clock <- time;
+            t.events_fired <- t.events_fired + 1;
+            ev.fire ()
+        | Fault_defer until ->
+            t.fault_defers <- t.fault_defers + 1;
+            let until = if until <= time then time + 1 else until in
+            if Etrace.on Etrace.lv_ops then
+              Etrace.emit
+                (Etrace.Event.Fault_stall { pid = ev.pid; time; until });
+            schedule t until ev
+        | Fault_drop ->
+            (* Crash-stop: the processor's sole pending event dies and
+               with it the processor; the continuation is dropped
+               unresumed, so no cleanup handlers run. *)
+            t.clock <- time;
+            t.live <- t.live - 1;
+            t.crashed <- t.crashed + 1;
+            if Etrace.on Etrace.lv_ops then begin
+              Etrace.emit (Etrace.Event.Fault_crash { pid = ev.pid; time });
+              Etrace.emit
+                (Etrace.Event.Proc_end
+                   { pid = ev.pid; time; reason = Etrace.Event.Crashed })
+            end);
+        loop ()
+      end
+    end
   in
   (match controller with Some c -> ctl_loop c | None -> loop ());
   assert (t.live = 0);

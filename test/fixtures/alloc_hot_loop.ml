@@ -1,0 +1,30 @@
+(* Seeded @allocheck regression fixture: a scheduler-shaped step loop
+   that allocates a fresh event record and a capturing closure on every
+   iteration — the exact regression class the hot-path allocation gate
+   exists to catch.  Compiled at test time with [ocamlc -bin-annot];
+   the census run with root [Alloc_hot_loop.run] and an empty budget
+   must reject it with the golden diagnostics in
+   allocheck_bug.expected (which pin the root -> site call chains). *)
+
+type event = { time : int; payload : int }
+
+let process ev = ev.time + ev.payload
+
+(* A per-event thunk factory: the let-bound [k] is a nested closure
+   capturing [ev], allocated anew on every call. *)
+let make_thunk ev =
+  let k () = process ev in
+  k
+
+let run n =
+  let total = ref 0 in
+  let rec step i =
+    if i < n then begin
+      let ev = { time = i; payload = i * 2 } in
+      let t = make_thunk ev in
+      total := !total + t ();
+      step (i + 1)
+    end
+  in
+  step 0;
+  !total

@@ -31,3 +31,10 @@ let cas_flag (f : bool Atomic.t) = Atomic.compare_and_set f false true
    sees such accesses. *)
 let sneaky_cell v = Sim.Memory.cell v
 let peek_epoch (l : Memory.loc) = Memory.read_epoch l
+
+(* [nondet]: host clock, OS randomness, unseeded hashing — a run must
+   stay a deterministic function of its seed, so time comes from E.now
+   and randomness from the engine's seeded Splitmix streams. *)
+let stamp () = Sys.time ()
+let jitter n = Random.int n
+let fingerprint v = Hashtbl.hash v

@@ -7,6 +7,7 @@ module E = Sim.Engine
 module M = Sim.Memory
 module Rd = Analysis.Race_detector
 module Lint = Analysis.Lint_rules
+module Ac = Analysis.Allocheck
 module Pool = Core.Elim_pool.Make (E)
 module Stack = Core.Elim_stack.Make (E)
 module Idc = Core.Inc_dec_counter.Make (E)
@@ -268,6 +269,129 @@ let test_allowlist_load_rejects_junk () =
       | exception Lint.Parse_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Allocheck: seeded hot-loop regression + budget semantics            *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile the seeded fixture at test time with [ocamlc -bin-annot]
+   from inside a scratch directory, so the .cmt records the bare
+   relative path and the golden diagnostics are host-independent. *)
+let compiled_fixture =
+  lazy
+    (let dir = Filename.concat (Filename.get_temp_dir_name ()) "acfixture" in
+     let sh c =
+       if Sys.command c <> 0 then Alcotest.failf "command failed: %s" c
+     in
+     sh (Printf.sprintf "rm -rf %s && mkdir -p %s" dir dir);
+     sh (Printf.sprintf "cp fixtures/alloc_hot_loop.ml %s/" dir);
+     sh (Printf.sprintf "cd %s && ocamlc -bin-annot -c alloc_hot_loop.ml" dir);
+     Ac.census_of_paths [ dir ])
+
+let fixture_roots = [ "Alloc_hot_loop.run" ]
+
+let test_allocheck_seeded_regression () =
+  (* The teeth check: a closure (and a per-event record) seeded into a
+     scheduler-shaped step loop must be rejected against an empty
+     budget, with diagnostics naming the root -> site call chain. *)
+  let census = Lazy.force compiled_fixture in
+  let verdict = Ac.check census ~roots:fixture_roots ~budget:[] in
+  let got =
+    String.concat ""
+      (List.map (fun v -> Ac.format_violation v ^ "\n") verdict.Ac.violations)
+  in
+  let expected = read_file "fixtures/allocheck_bug.expected" in
+  Alcotest.(check string) "golden allocheck report" expected got;
+  check_int "no stale entries against an empty budget" 0
+    (List.length verdict.Ac.stale)
+
+let test_allocheck_chain_interprocedural () =
+  (* The closure lives in make_thunk, reached from run: its chain must
+     span both functions, root first. *)
+  let census = Lazy.force compiled_fixture in
+  let verdict = Ac.check census ~roots:fixture_roots ~budget:[] in
+  let thunk_violation =
+    List.find
+      (fun (v : Ac.violation) -> v.v_site.Ac.s_fn = "Alloc_hot_loop.make_thunk")
+      verdict.Ac.violations
+  in
+  Alcotest.(check (list string))
+    "root-first chain"
+    [ "Alloc_hot_loop.run"; "Alloc_hot_loop.make_thunk" ]
+    thunk_violation.Ac.v_chain
+
+let fixture_budget =
+  [
+    { Ac.b_fn = "Alloc_hot_loop.make_thunk"; b_kind = Ac.K_closure; b_count = 1 };
+    { Ac.b_fn = "Alloc_hot_loop.run"; b_kind = Ac.K_record; b_count = 2 };
+    { Ac.b_fn = "Alloc_hot_loop.run"; b_kind = Ac.K_closure; b_count = 1 };
+  ]
+
+let test_allocheck_budget_satisfied () =
+  let census = Lazy.force compiled_fixture in
+  let verdict = Ac.check census ~roots:fixture_roots ~budget:fixture_budget in
+  check_int "no violations under the exact budget" 0
+    (List.length verdict.Ac.violations);
+  check_int "no stale entries" 0 (List.length verdict.Ac.stale)
+
+let test_allocheck_budget_stale () =
+  (* The ratchet's other jaw: a budget looser than reality (or naming a
+     cold function) is stale and must fail, so removing an allocation
+     forces the committed budget to record the win. *)
+  let census = Lazy.force compiled_fixture in
+  let loose =
+    { Ac.b_fn = "Alloc_hot_loop.run"; b_kind = Ac.K_closure; b_count = 5 }
+  in
+  let cold =
+    { Ac.b_fn = "Alloc_hot_loop.process"; b_kind = Ac.K_tuple; b_count = 1 }
+  in
+  let verdict =
+    Ac.check census ~roots:fixture_roots ~budget:(loose :: cold :: fixture_budget)
+  in
+  check_int "both bad entries reported stale" 2 (List.length verdict.Ac.stale)
+
+let test_allocheck_unknown_root_rejected () =
+  let census = Lazy.force compiled_fixture in
+  match Ac.check census ~roots:[ "Alloc_hot_loop.no_such_fn" ] ~budget:[] with
+  | _ -> Alcotest.fail "unknown root accepted"
+  | exception Ac.Error _ -> ()
+
+let test_budget_load () =
+  let path = Filename.temp_file "budget" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "# a comment\n\n\
+         Scheduler.run closure 14  # setup only\n\
+         Event_heap.push record 1\n";
+      close_out oc;
+      match Ac.load_budget path with
+      | [ a; b ] ->
+          Alcotest.(check string) "fn" "Scheduler.run" a.Ac.b_fn;
+          check_bool "kind" true (a.Ac.b_kind = Ac.K_closure);
+          check_int "count" 14 a.Ac.b_count;
+          Alcotest.(check string) "fn 2" "Event_heap.push" b.Ac.b_fn;
+          check_int "count 2" 1 b.Ac.b_count
+      | entries -> Alcotest.failf "expected 2 entries, got %d" (List.length entries))
+
+let test_budget_load_rejects_junk () =
+  let bad contents =
+    let path = Filename.temp_file "budget" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        match Ac.load_budget path with
+        | _ -> Alcotest.failf "malformed budget accepted: %S" contents
+        | exception Ac.Error _ -> ())
+  in
+  bad "Scheduler.run not-a-kind 3\n";
+  bad "Scheduler.run closure\n";
+  bad "Scheduler.run closure many\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "analysis"
@@ -305,5 +429,21 @@ let () =
           Alcotest.test_case "allowlist load" `Quick test_allowlist_load;
           Alcotest.test_case "allowlist rejects junk" `Quick
             test_allowlist_load_rejects_junk;
+        ] );
+      ( "allocheck",
+        [
+          Alcotest.test_case "seeded hot-loop regression caught" `Quick
+            test_allocheck_seeded_regression;
+          Alcotest.test_case "interprocedural chain" `Quick
+            test_allocheck_chain_interprocedural;
+          Alcotest.test_case "exact budget passes" `Quick
+            test_allocheck_budget_satisfied;
+          Alcotest.test_case "loose or cold budget is stale" `Quick
+            test_allocheck_budget_stale;
+          Alcotest.test_case "unknown root rejected" `Quick
+            test_allocheck_unknown_root_rejected;
+          Alcotest.test_case "budget load" `Quick test_budget_load;
+          Alcotest.test_case "budget rejects junk" `Quick
+            test_budget_load_rejects_junk;
         ] );
     ]
